@@ -1,0 +1,112 @@
+package horus_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLIs compiles every command once into a temp dir and returns the
+// binary paths keyed by name.
+func buildCLIs(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"horus-drain", "horus-experiments", "horus-recover", "horus-runtime", "horus-plan"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	return bins
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIs drives every command end-to-end at test scale and checks the
+// load-bearing lines of their output.
+func TestCLIs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs all binaries")
+	}
+	bins := buildCLIs(t)
+
+	t.Run("drain", func(t *testing.T) {
+		out := run(t, bins["horus-drain"], "-scale", "test", "-scheme", "horus-dlm", "-v", "-compare")
+		for _, want := range []string{"Horus-DLM", "blocks drained:", "chv-data=", "vs non-secure:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("drain output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("drain-trace", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "t.csv")
+		run(t, bins["horus-drain"], "-scale", "test", "-scheme", "horus-slm", "-trace", trace)
+		b, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(b), "seq,time_ps,kind,addr,category") {
+			t.Error("trace CSV header missing")
+		}
+		if !strings.Contains(string(b), "chv-data") {
+			t.Error("trace missing CHV events")
+		}
+	})
+
+	t.Run("experiments", func(t *testing.T) {
+		dir := t.TempDir()
+		out := run(t, bins["horus-experiments"], "-exp", "fig6,headline", "-scale", "test", "-csv", dir)
+		for _, want := range []string{"Fig. 6", "Headline", "Base-LU"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("experiments output missing %q", want)
+			}
+		}
+		files, _ := os.ReadDir(dir)
+		if len(files) != 2 {
+			t.Errorf("csv dir has %d files, want 2", len(files))
+		}
+	})
+
+	t.Run("recover-clean-and-attacked", func(t *testing.T) {
+		out := run(t, bins["horus-recover"], "-scheme", "slm")
+		if !strings.Contains(out, "verified") {
+			t.Errorf("clean recovery output wrong:\n%s", out)
+		}
+		out = run(t, bins["horus-recover"], "-scheme", "dlm", "-attack", "splice")
+		if !strings.Contains(out, "attack detected") {
+			t.Errorf("attack not detected:\n%s", out)
+		}
+	})
+
+	t.Run("runtime", func(t *testing.T) {
+		out := run(t, bins["horus-runtime"], "-workload", "txlog", "-domain", "wpq", "-ops", "4000", "-crash")
+		for _, want := range []string{"ADR+WPQ", "recovered in", "verified"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("runtime output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("plan", func(t *testing.T) {
+		out := run(t, bins["horus-plan"], "-llc", "64")
+		for _, want := range []string{"64 MB LLC", "Horus-SLM", "SuperCap"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("plan output missing %q:\n%s", want, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+// Command horus-drain runs one EPD draining episode and reports the
+// metrics the paper's evaluation is built on: draining time, per-category
+// memory accesses, per-category MAC calculations, energy, and battery size.
+//
+// Examples:
+//
+//	horus-drain -scheme horus-slm
+//	horus-drain -scheme base-lu -llc 32 -compare
+//	horus-drain -scale test -scheme horus-dlm -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	horus "repro"
+	"repro/internal/cliutil"
+	"repro/internal/energy"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		schemeFlag  = flag.String("scheme", "horus-slm", "drain design: non-secure | base-lu | base-eu | horus-slm | horus-dlm")
+		scaleFlag   = flag.String("scale", "paper", "configuration scale: paper (Table I, 32GB/16MB) | test (scaled down)")
+		llcMB       = flag.Int("llc", 0, "override LLC size in MB (paper scale only)")
+		seed        = flag.Int64("seed", 1, "fill/flush seed")
+		shuffle     = flag.Bool("shuffle", false, "shuffle the flush order (harsher than the paper's in-order flush)")
+		compareFlag = flag.Bool("compare", false, "also run the non-secure reference and print ratios")
+		verbose     = flag.Bool("v", false, "print per-category breakdowns")
+		traceFile   = flag.String("trace", "", "write a CSV trace of every memory access to this file")
+		traceLimit  = flag.Int("trace-limit", 2_000_000, "maximum trace events retained (0 = unlimited)")
+	)
+	flag.Parse()
+
+	cfg, err := cliutil.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Seed = *seed
+	cfg.FlushShuffle = *shuffle
+	if *llcMB > 0 {
+		cfg.LLCBytes = *llcMB << 20
+	}
+	scheme, err := cliutil.ParseScheme(*schemeFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	sys := horus.NewSystem(cfg, scheme)
+	var rec *trace.Recorder
+	if *traceFile != "" {
+		rec = trace.NewRecorder(*traceLimit)
+		sys.Core.NVM.SetObserver(rec)
+	}
+	if err := sys.Warmup(); err != nil {
+		fatal(err)
+	}
+	sys.Fill()
+	if rec != nil {
+		rec.Reset() // trace the drain only, not the warm-up
+	}
+	res, err := sys.Drain()
+	if err != nil {
+		fatal(err)
+	}
+	printResult(cfg, res, *verbose)
+	if rec != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:          %d events to %s (%d dropped)\n", rec.Len(), *traceFile, rec.Dropped())
+	}
+
+	if *compareFlag && scheme != horus.NonSecure {
+		ns, err := horus.RunDrain(cfg, horus.NonSecure)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("vs non-secure: %.2fx memory accesses, %.2fx draining time\n",
+			float64(res.TotalMemAccesses())/float64(ns.TotalMemAccesses()),
+			float64(res.DrainTime)/float64(ns.DrainTime))
+	}
+}
+
+func printResult(cfg horus.Config, res horus.Result, verbose bool) {
+	fmt.Printf("scheme:         %v\n", res.Scheme)
+	fmt.Printf("blocks drained: %s\n", report.Count(int64(res.BlocksDrained)))
+	fmt.Printf("draining time:  %v\n", res.DrainTime)
+	fmt.Printf("memory reads:   %s\n", report.Count(res.MemReads.Total()))
+	fmt.Printf("memory writes:  %s\n", report.Count(res.MemWrites.Total()))
+	fmt.Printf("MAC calcs:      %s\n", report.Count(res.TotalMACs()))
+	fmt.Printf("AES ops:        %s\n", report.Count(res.AESOps))
+	b := cfg.EnergyOf(res)
+	fmt.Printf("energy:         %s (processor %s, NVM writes %s, NVM reads %s)\n",
+		report.Joules(b.Total()), report.Joules(b.ProcessorJ), report.Joules(b.NVMWriteJ), report.Joules(b.NVMReadJ))
+	fmt.Printf("battery:        %s SuperCap, %s Li-thin\n",
+		report.Cm3(energy.Volume(b.Total(), energy.SuperCap)),
+		report.Cm3(energy.Volume(b.Total(), energy.LiThin)))
+	if verbose {
+		fmt.Printf("\nwrite breakdown: %v\n", res.MemWrites)
+		fmt.Printf("read breakdown:  %v\n", res.MemReads)
+		fmt.Printf("MAC breakdown:   %v\n", res.MACCalcs)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "horus-drain:", err)
+	os.Exit(1)
+}

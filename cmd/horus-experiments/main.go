@@ -1,0 +1,188 @@
+// Command horus-experiments regenerates the paper's evaluation: every
+// figure (6, 11, 12, 13, 14, 15, 16) and table (II, III) plus the
+// abstract's headline claims, printed as aligned text tables with the
+// paper's published values quoted in footnotes for comparison.
+//
+// Examples:
+//
+//	horus-experiments -exp all            # full Table I scale (minutes)
+//	horus-experiments -exp fig11          # one experiment
+//	horus-experiments -exp all -scale test  # scaled down (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	horus "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "experiment: fig6 fig11 fig12 fig13 fig14 fig15 fig16 table2 table3 headline ablations all")
+		scaleFlag = flag.String("scale", "paper", "paper (Table I scale) | test (scaled down)")
+		seed      = flag.Int64("seed", 1, "fill/flush seed")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+	emitCSVTo = *csvDir
+
+	var cfg horus.Config
+	switch *scaleFlag {
+	case "paper":
+		cfg = horus.DefaultConfig()
+	case "test":
+		cfg = horus.TestConfig()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+	cfg.Seed = *seed
+
+	want := strings.Split(*expFlag, ",")
+	has := func(name string) bool {
+		for _, w := range want {
+			if w == name || w == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Figs. 6, 11, 12, 13 and Tables II/III share one drain per scheme.
+	needSet := has("fig6") || has("fig11") || has("fig12") || has("fig13") ||
+		has("table2") || has("table3") || has("headline")
+	var set *horus.DrainSet
+	if needSet {
+		var err error
+		set, err = horus.RunDrainSet(cfg, horus.AllSchemes())
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if has("fig6") {
+		f := horus.Fig6{Blocks: set.Results[horus.NonSecure].BlocksDrained, Set: subset(set, horus.Fig6Schemes())}
+		emit(f.Table())
+	}
+	if has("fig11") {
+		emit(horus.Fig11{Set: set}.Table())
+	}
+	if has("fig12") {
+		emit(horus.Fig12{Set: set}.Table())
+	}
+	if has("fig13") {
+		emit(horus.Fig13{Set: set}.Table())
+	}
+	if has("fig14") || has("fig15") {
+		sizes := horus.Fig14LLCSizes()
+		if *scaleFlag == "test" {
+			sizes = []int{4 << 20, 8 << 20}
+		}
+		sw, err := horus.RunLLCSweep(cfg, sizes, horus.AllSchemes())
+		if err != nil {
+			fatal(err)
+		}
+		if has("fig14") {
+			emit(sw.Fig14Table())
+		}
+		if has("fig15") {
+			emit(sw.Fig15Table())
+		}
+	}
+	if has("fig16") {
+		sizes := horus.Fig16LLCSizes()
+		if *scaleFlag == "test" {
+			sizes = []int{4 << 20, 8 << 20}
+		}
+		f16, err := horus.RunFig16(cfg, sizes)
+		if err != nil {
+			fatal(err)
+		}
+		emit(f16.Table())
+	}
+	if has("table2") || has("table3") {
+		t2 := horus.Table2{Set: subset(set, horus.Table2Schemes()), Breakdown: map[horus.Scheme]horus.EnergyBreakdown{}}
+		for _, s := range horus.Table2Schemes() {
+			t2.Breakdown[s] = cfg.EnergyOf(set.Results[s])
+		}
+		if has("table2") {
+			emit(t2.Table())
+		}
+		if has("table3") {
+			emit(horus.Table3{T2: t2}.Table())
+		}
+	}
+	if has("ablations") {
+		a, err := horus.RunAblations(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emit(a.FillPattern)
+		emit(a.DataSize)
+		emit(a.TreeProfile)
+		emit(a.Recovery)
+	}
+	if has("headline") {
+		lu, slm := set.Results[horus.BaseLU], set.Results[horus.HorusSLM]
+		h := horus.Headline{
+			MemReduction:  float64(lu.TotalMemAccesses()) / float64(slm.TotalMemAccesses()),
+			MACReduction:  float64(lu.TotalMACs()) / float64(slm.TotalMACs()),
+			TimeReduction: float64(lu.DrainTime) / float64(slm.DrainTime),
+		}
+		emit(h.Table())
+	}
+}
+
+// emitCSVTo, when non-empty, is the directory tables are mirrored into.
+var emitCSVTo string
+
+// emit prints a table and optionally mirrors it as CSV.
+func emit(t *report.Table) {
+	t.Fprint(os.Stdout)
+	if emitCSVTo == "" {
+		return
+	}
+	name := slug(t.Title) + ".csv"
+	f, err := os.Create(filepath.Join(emitCSVTo, name))
+	if err != nil {
+		fatal(err)
+	}
+	if err := t.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// slug turns a table title into a file name.
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == ':' || r == '/':
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(strings.ReplaceAll(b.String(), "--", "-"), "-")
+}
+
+// subset narrows a drain set to the given schemes (they were all run).
+func subset(set *horus.DrainSet, schemes []horus.Scheme) *horus.DrainSet {
+	out := &horus.DrainSet{Config: set.Config, Schemes: schemes, Results: map[horus.Scheme]horus.Result{}}
+	for _, s := range schemes {
+		out.Results[s] = set.Results[s]
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "horus-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,525 @@
+package horus
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/recovery"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// DrainSet holds one drain result per scheme over the same configuration,
+// the shared substrate for Figs. 6, 11, 12, 13 and Tables II, III.
+type DrainSet struct {
+	Config  Config
+	Schemes []Scheme
+	Results map[Scheme]Result
+}
+
+// mustResult returns a scheme's result, failing loudly if the set was run
+// without it (instead of nil-dereferencing a zero Result downstream).
+func (ds *DrainSet) mustResult(s Scheme) Result {
+	res, ok := ds.Results[s]
+	if !ok {
+		panic(fmt.Sprintf("horus: drain set has no result for %v; include it in RunDrainSet's schemes", s))
+	}
+	return res
+}
+
+// RunDrainSet drains a fresh system per scheme (identical fill and flush
+// order, thanks to the shared seed) and collects the results.
+func RunDrainSet(cfg Config, schemes []Scheme) (*DrainSet, error) {
+	ds := &DrainSet{Config: cfg, Schemes: schemes, Results: make(map[Scheme]Result)}
+	for _, s := range schemes {
+		res, err := RunDrain(cfg, s)
+		if err != nil {
+			return nil, fmt.Errorf("horus: drain set %v: %w", s, err)
+		}
+		ds.Results[s] = res
+	}
+	return ds, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — memory-request breakdown for flushing the cache hierarchy
+// (motivation: 10.3x / 9.5x blow-up of the secure baselines).
+
+// Fig6 reports the motivation experiment.
+type Fig6 struct {
+	Blocks int
+	Set    *DrainSet
+}
+
+// Fig6Schemes are the designs Fig. 6 compares.
+func Fig6Schemes() []Scheme { return []Scheme{NonSecure, BaseEU, BaseLU} }
+
+// RunFig6 regenerates Fig. 6.
+func RunFig6(cfg Config) (Fig6, error) {
+	ds, err := RunDrainSet(cfg, Fig6Schemes())
+	if err != nil {
+		return Fig6{}, err
+	}
+	return Fig6{Blocks: ds.Results[NonSecure].BlocksDrained, Set: ds}, nil
+}
+
+// Ratio returns a scheme's total memory requests normalized to NonSecure.
+// It panics with a descriptive message if the set lacks either scheme.
+func (f Fig6) Ratio(s Scheme) float64 {
+	base := f.Set.mustResult(NonSecure).TotalMemAccesses()
+	return float64(f.Set.mustResult(s).TotalMemAccesses()) / float64(base)
+}
+
+// Table renders the figure as a breakdown table.
+func (f Fig6) Table() *report.Table {
+	t := &report.Table{
+		Title:  fmt.Sprintf("Fig. 6: memory requests to flush the cache hierarchy (%s blocks)", report.Count(int64(f.Blocks))),
+		Header: []string{"scheme", "reads", "writes", "total", "vs non-secure"},
+	}
+	for _, s := range f.Set.Schemes {
+		r := f.Set.Results[s]
+		t.AddRow(s.String(),
+			report.Count(r.MemReads.Total()),
+			report.Count(r.MemWrites.Total()),
+			report.Count(r.TotalMemAccesses()),
+			report.Ratio(f.Ratio(s)))
+	}
+	t.AddNote("paper: Base-LU = 10.3x, Base-EU = 9.5x the non-secure requests")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — normalized draining time (cycles).
+
+// Fig11 reports the draining-time comparison across all five designs.
+type Fig11 struct {
+	Set *DrainSet
+}
+
+// RunFig11 regenerates Fig. 11.
+func RunFig11(cfg Config) (Fig11, error) {
+	ds, err := RunDrainSet(cfg, AllSchemes())
+	if err != nil {
+		return Fig11{}, err
+	}
+	return Fig11{Set: ds}, nil
+}
+
+// Normalized returns a scheme's draining time normalized to NonSecure.
+// It panics with a descriptive message if the set lacks either scheme.
+func (f Fig11) Normalized(s Scheme) float64 {
+	return float64(f.Set.mustResult(s).DrainTime) / float64(f.Set.mustResult(NonSecure).DrainTime)
+}
+
+// VsHorus returns a scheme's draining time relative to Horus-SLM.
+// It panics with a descriptive message if the set lacks either scheme.
+func (f Fig11) VsHorus(s Scheme) float64 {
+	return float64(f.Set.mustResult(s).DrainTime) / float64(f.Set.mustResult(HorusSLM).DrainTime)
+}
+
+// Table renders the figure.
+func (f Fig11) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Fig. 11: draining time (power-hold-up proxy)",
+		Header: []string{"scheme", "drain time", "vs non-secure", "vs Horus-SLM"},
+	}
+	for _, s := range f.Set.Schemes {
+		r := f.Set.Results[s]
+		t.AddRow(s.String(), r.DrainTime.String(),
+			report.Ratio(f.Normalized(s)), report.Ratio(f.VsHorus(s)))
+	}
+	t.AddNote("paper: Base-EU = 5.1x and Base-LU = 4.5x the Horus time; Horus = 1.7x non-secure")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — breakdown of memory writes by type.
+
+// Fig12 reports the write-type breakdown.
+type Fig12 struct {
+	Set *DrainSet
+}
+
+// RunFig12 regenerates Fig. 12.
+func RunFig12(cfg Config) (Fig12, error) {
+	ds, err := RunDrainSet(cfg, AllSchemes())
+	if err != nil {
+		return Fig12{}, err
+	}
+	return Fig12{Set: ds}, nil
+}
+
+// Table renders the figure: one column per write category.
+func (f Fig12) Table() *report.Table {
+	cats := collectCategories(f.Set, func(r Result) []string { return r.MemWrites.Names() })
+	t := &report.Table{
+		Title:  "Fig. 12: breakdown of memory writes",
+		Header: append([]string{"scheme"}, append(cats, "total")...),
+	}
+	for _, s := range f.Set.Schemes {
+		r := f.Set.Results[s]
+		row := []string{s.String()}
+		for _, c := range cats {
+			row = append(row, report.Count(r.MemWrites.Get(c)))
+		}
+		row = append(row, report.Count(r.MemWrites.Total()))
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: Horus-DLM writes 8x fewer CHV MAC blocks than Horus-SLM; metadata flush is negligible for all schemes")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13 — breakdown of MAC calculations.
+
+// Fig13 reports the MAC-calculation breakdown.
+type Fig13 struct {
+	Set *DrainSet
+}
+
+// RunFig13 regenerates Fig. 13.
+func RunFig13(cfg Config) (Fig13, error) {
+	ds, err := RunDrainSet(cfg, AllSchemes())
+	if err != nil {
+		return Fig13{}, err
+	}
+	return Fig13{Set: ds}, nil
+}
+
+// Table renders the figure.
+func (f Fig13) Table() *report.Table {
+	cats := collectCategories(f.Set, func(r Result) []string { return r.MACCalcs.Names() })
+	t := &report.Table{
+		Title:  "Fig. 13: breakdown of MAC calculations",
+		Header: append([]string{"scheme"}, append(cats, "total")...),
+	}
+	for _, s := range f.Set.Schemes {
+		r := f.Set.Results[s]
+		row := []string{s.String()}
+		for _, c := range cats {
+			row = append(row, report.Count(r.MACCalcs.Get(c)))
+		}
+		row = append(row, report.Count(r.TotalMACs()))
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: Base-EU largest (tree updates); Horus-DLM = 1.125x Horus-SLM")
+	return t
+}
+
+func collectCategories(ds *DrainSet, get func(Result) []string) []string {
+	var cats []string
+	seen := map[string]bool{}
+	for _, s := range ds.Schemes {
+		for _, c := range get(ds.Results[s]) {
+			if !seen[c] {
+				seen[c] = true
+				cats = append(cats, c)
+			}
+		}
+	}
+	return cats
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 14 & 15 — LLC-size sensitivity (memory requests, MAC calculations,
+// normalized to Base-LU at each size).
+
+// SweepPoint is one LLC size's results.
+type SweepPoint struct {
+	LLCBytes int
+	Results  map[Scheme]Result
+}
+
+// LLCSweep holds the sensitivity-study results.
+type LLCSweep struct {
+	Config Config
+	Points []SweepPoint
+}
+
+// Fig14LLCSizes returns the paper's sweep sizes.
+func Fig14LLCSizes() []int { return []int{8 << 20, 16 << 20, 32 << 20} }
+
+// RunLLCSweep drains every scheme at each LLC size.
+func RunLLCSweep(cfg Config, llcSizes []int, schemes []Scheme) (*LLCSweep, error) {
+	sw := &LLCSweep{Config: cfg}
+	for _, size := range llcSizes {
+		c := cfg
+		c.LLCBytes = size
+		c.Hierarchy = nil
+		pt := SweepPoint{LLCBytes: size, Results: make(map[Scheme]Result)}
+		for _, s := range schemes {
+			res, err := RunDrain(c, s)
+			if err != nil {
+				return nil, fmt.Errorf("horus: LLC sweep %dMB %v: %w", size>>20, s, err)
+			}
+			pt.Results[s] = res
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	return sw, nil
+}
+
+// Fig14Table renders memory requests normalized to Base-LU per size.
+func (sw *LLCSweep) Fig14Table() *report.Table {
+	return sw.normalizedTable(
+		"Fig. 14: memory requests by LLC size (normalized to Base-LU)",
+		"paper: Horus achieves >= 7.0x reduction vs Base-LU at every size",
+		func(r Result) float64 { return float64(r.TotalMemAccesses()) })
+}
+
+// Fig15Table renders MAC calculations normalized to Base-LU per size.
+func (sw *LLCSweep) Fig15Table() *report.Table {
+	return sw.normalizedTable(
+		"Fig. 15: MAC calculations by LLC size (normalized to Base-LU)",
+		"paper: Horus achieves >= 5.8x reduction vs Base-LU at every size",
+		func(r Result) float64 { return float64(r.TotalMACs()) })
+}
+
+// Normalized returns metric(s) / metric(Base-LU) at sweep point i.
+// It panics with a descriptive message if the sweep lacks either scheme.
+func (sw *LLCSweep) Normalized(i int, s Scheme, metric func(Result) float64) float64 {
+	pt := sw.Points[i]
+	num, ok := pt.Results[s]
+	if !ok {
+		panic(fmt.Sprintf("horus: LLC sweep point %d has no result for %v", i, s))
+	}
+	den, ok := pt.Results[BaseLU]
+	if !ok {
+		panic(fmt.Sprintf("horus: LLC sweep point %d has no Base-LU result to normalize against", i))
+	}
+	return metric(num) / metric(den)
+}
+
+func (sw *LLCSweep) normalizedTable(title, note string, metric func(Result) float64) *report.Table {
+	var schemes []Scheme
+	for _, s := range AllSchemes() {
+		if _, ok := sw.Points[0].Results[s]; ok {
+			schemes = append(schemes, s)
+		}
+	}
+	header := []string{"scheme"}
+	for _, pt := range sw.Points {
+		header = append(header, fmt.Sprintf("LLC %dMB", pt.LLCBytes>>20))
+	}
+	t := &report.Table{Title: title, Header: header}
+	for _, s := range schemes {
+		row := []string{s.String()}
+		for i := range sw.Points {
+			row = append(row, fmt.Sprintf("%.3f", sw.Normalized(i, s, metric)))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("%s", note)
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 16 — recovery time vs LLC size.
+
+// Fig16Point is one (LLC size, scheme) recovery measurement.
+type Fig16Point struct {
+	LLCBytes     int
+	Scheme       Scheme
+	RecoveryTime sim.Time
+	Blocks       int
+}
+
+// Fig16 holds the recovery-time estimates.
+type Fig16 struct {
+	Points []Fig16Point
+}
+
+// Fig16LLCSizes returns the paper's sweep (8 MB to 128 MB).
+func Fig16LLCSizes() []int { return []int{8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20} }
+
+// RunFig16 drains and recovers Horus-SLM and Horus-DLM at each LLC size.
+func RunFig16(cfg Config, llcSizes []int) (Fig16, error) {
+	var out Fig16
+	for _, size := range llcSizes {
+		c := cfg
+		c.LLCBytes = size
+		c.Hierarchy = nil
+		for _, s := range []Scheme{HorusSLM, HorusDLM} {
+			sys := NewSystem(c, s)
+			if err := sys.Warmup(); err != nil {
+				return Fig16{}, err
+			}
+			n := sys.Fill()
+			res, err := sys.Drain()
+			if err != nil {
+				return Fig16{}, err
+			}
+			sys.Crash()
+			rec, err := sys.Recover(res.Persist)
+			if err != nil {
+				return Fig16{}, fmt.Errorf("horus: Fig16 recovery %dMB %v: %w", size>>20, s, err)
+			}
+			out.Points = append(out.Points, Fig16Point{
+				LLCBytes: size, Scheme: s,
+				RecoveryTime: rec.Time(), Blocks: n,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the figure.
+func (f Fig16) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Fig. 16: recovery time",
+		Header: []string{"LLC", "scheme", "blocks", "recovery time"},
+	}
+	for _, p := range f.Points {
+		t.AddRow(fmt.Sprintf("%dMB", p.LLCBytes>>20), p.Scheme.String(),
+			report.Count(int64(p.Blocks)), p.RecoveryTime.String())
+	}
+	t.AddNote("paper: 0.51s (SLM) and 0.48s (DLM) at LLC = 128MB")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Tables II & III — energy and battery size.
+
+// EnergyBreakdown is one Table II row set (re-exported for CLI/users).
+type EnergyBreakdown = energy.Breakdown
+
+// Table2Schemes are the secure designs Table II compares.
+func Table2Schemes() []Scheme { return []Scheme{BaseLU, BaseEU, HorusSLM, HorusDLM} }
+
+// Table2 reports draining energy per scheme.
+type Table2 struct {
+	Set       *DrainSet
+	Breakdown map[Scheme]energy.Breakdown
+}
+
+// RunTable2 regenerates Table II.
+func RunTable2(cfg Config) (Table2, error) {
+	ds, err := RunDrainSet(cfg, Table2Schemes())
+	if err != nil {
+		return Table2{}, err
+	}
+	t2 := Table2{Set: ds, Breakdown: make(map[Scheme]energy.Breakdown)}
+	for _, s := range ds.Schemes {
+		t2.Breakdown[s] = cfg.EnergyOf(ds.Results[s])
+	}
+	return t2, nil
+}
+
+// Table renders Table II.
+func (t2 Table2) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Table II: draining energy",
+		Header: []string{"component", "Base-LU", "Base-EU", "Horus-SLM", "Horus-DLM"},
+	}
+	row := func(name string, get func(energy.Breakdown) float64) {
+		cells := []string{name}
+		for _, s := range Table2Schemes() {
+			cells = append(cells, report.Joules(get(t2.Breakdown[s])))
+		}
+		t.AddRow(cells...)
+	}
+	row("Processor", func(b energy.Breakdown) float64 { return b.ProcessorJ })
+	row("NVM writes", func(b energy.Breakdown) float64 { return b.NVMWriteJ })
+	row("NVM reads", func(b energy.Breakdown) float64 { return b.NVMReadJ })
+	row("Total", energy.Breakdown.Total)
+	t.AddNote("paper: totals 11.07 / 12.39 / 2.45 / 2.38 J")
+	return t
+}
+
+// Table3 reports battery volume per scheme and technology.
+type Table3 struct {
+	T2 Table2
+}
+
+// RunTable3 regenerates Table III from a Table II run.
+func RunTable3(cfg Config) (Table3, error) {
+	t2, err := RunTable2(cfg)
+	if err != nil {
+		return Table3{}, err
+	}
+	return Table3{T2: t2}, nil
+}
+
+// Volume returns the battery volume for a scheme and technology.
+func (t3 Table3) Volume(s Scheme, tech energy.Tech) float64 {
+	return energy.Volume(t3.T2.Breakdown[s].Total(), tech)
+}
+
+// Table renders Table III.
+func (t3 Table3) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Table III: battery size for draining",
+		Header: []string{"technology", "Base-LU", "Base-EU", "Horus-SLM", "Horus-DLM"},
+	}
+	for _, tech := range []energy.Tech{energy.SuperCap, energy.LiThin} {
+		cells := []string{tech.Name}
+		for _, s := range Table2Schemes() {
+			cells = append(cells, fmt.Sprintf("%.3f", t3.Volume(s, tech)))
+		}
+		t.AddRow(cells...)
+	}
+	t.AddNote("cm^3; paper: SuperCap 30.7/34.4/6.8/6.6, Li-thin 0.31/0.34/0.07/0.07")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Headline numbers (abstract / §I).
+
+// Headline summarises the paper's claimed improvements.
+type Headline struct {
+	MemReduction  float64 // Base-LU accesses / Horus-SLM accesses (paper: ~8x)
+	MACReduction  float64 // Base-LU MACs / Horus-SLM MACs (paper: ~7.8x)
+	TimeReduction float64 // Base-LU drain time / Horus-SLM drain time (paper: ~5x)
+}
+
+// RunHeadline computes the abstract's three claims.
+func RunHeadline(cfg Config) (Headline, error) {
+	ds, err := RunDrainSet(cfg, []Scheme{BaseLU, HorusSLM})
+	if err != nil {
+		return Headline{}, err
+	}
+	lu, slm := ds.Results[BaseLU], ds.Results[HorusSLM]
+	return Headline{
+		MemReduction:  float64(lu.TotalMemAccesses()) / float64(slm.TotalMemAccesses()),
+		MACReduction:  float64(lu.TotalMACs()) / float64(slm.TotalMACs()),
+		TimeReduction: float64(lu.DrainTime) / float64(slm.DrainTime),
+	}, nil
+}
+
+// Table renders the headline comparison.
+func (h Headline) Table() *report.Table {
+	t := &report.Table{
+		Title:  "Headline: Horus-SLM improvement over Base-LU",
+		Header: []string{"metric", "reduction", "paper"},
+	}
+	t.AddRow("memory requests", report.Ratio(h.MemReduction), "8x")
+	t.AddRow("MAC calculations", report.Ratio(h.MACReduction), "7.8x")
+	t.AddRow("draining time", report.Ratio(h.TimeReduction), "5x")
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Recovery helper used by Fig. 16 above and by RunRecovery.
+
+// RunRecovery is the one-shot drain + crash + recover round trip.
+func RunRecovery(cfg Config, scheme Scheme) (Result, RecoveryReport, error) {
+	sys := NewSystem(cfg, scheme)
+	if err := sys.Warmup(); err != nil {
+		return Result{}, RecoveryReport{}, err
+	}
+	sys.Fill()
+	res, err := sys.Drain()
+	if err != nil {
+		return Result{}, RecoveryReport{}, err
+	}
+	sys.Crash()
+	rec, err := sys.Recover(res.Persist)
+	if err != nil {
+		return res, RecoveryReport{}, err
+	}
+	return res, rec, nil
+}
+
+// Ensure the recovery package's error type is visible to API users who
+// want errors.As against it.
+type RecoveryError = recovery.Error

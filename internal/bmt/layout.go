@@ -1,0 +1,319 @@
+// Package bmt defines the physical layout of the secure-memory metadata:
+// the encryption-counter region, the data-MAC region, the Bonsai Merkle
+// Tree (BMT) levels protecting the counters, the cache-hierarchy vault
+// (CHV) Horus drains into, and the metadata-cache vault used for
+// Anubis-style metadata flushing.
+//
+// The package is pure address arithmetic: given a 64-byte-aligned data
+// address it locates the counter block, MAC block and tree nodes that
+// protect it, and maps metadata addresses back to their (level, index)
+// coordinates so eviction handlers can find parents. All memory traffic and
+// verification logic lives in package secmem.
+//
+// Tree shape: level 0 is the counter blocks (one per 4 KB of data). Each
+// level above groups 8 children per 64-byte node holding eight 8-byte MACs.
+// The topmost single node is the root, held in an on-chip persistent
+// register and never stored in memory. For the paper's 32 GB memory this
+// yields 8 Mi counter blocks and a root 9 levels up, matching Table I's
+// "10-level 8-ary Merkle Tree over NVM" (counting the counter level).
+package bmt
+
+import "fmt"
+
+const (
+	// BlockSize is the metadata block granularity (one cache line).
+	BlockSize = 64
+	// Arity is the fan-out of the integrity tree.
+	Arity = 8
+	// CounterCoverage is the data bytes covered by one counter block.
+	CounterCoverage = 4096
+	// MACCoverage is the data bytes covered by one MAC block
+	// (8 data blocks x 8-byte MACs per 64-byte MAC block).
+	MACCoverage = 512
+)
+
+// Region identifies which part of the physical address space an address
+// falls in.
+type Region int
+
+// Region values.
+const (
+	RegionData Region = iota
+	RegionCounter
+	RegionMAC
+	RegionTree
+	RegionCHVData
+	RegionCHVAddr
+	RegionCHVMAC
+	RegionVault
+	RegionUnknown
+)
+
+var regionNames = map[Region]string{
+	RegionData: "data", RegionCounter: "counter", RegionMAC: "mac",
+	RegionTree: "tree", RegionCHVData: "chv-data", RegionCHVAddr: "chv-addr",
+	RegionCHVMAC: "chv-mac", RegionVault: "vault", RegionUnknown: "unknown",
+}
+
+// String returns the region name.
+func (r Region) String() string { return regionNames[r] }
+
+// Layout is the computed address map. All bases are 64-byte aligned.
+type Layout struct {
+	DataSize uint64 // protected data region is [0, DataSize)
+
+	NumCounterBlocks uint64
+	CounterBase      uint64
+	MACBase          uint64
+	MACBytes         uint64
+
+	// LevelCount[l] is the number of nodes at level l; LevelCount[0] is the
+	// counter-block count. The last level has exactly one node (the root).
+	LevelCount []uint64
+	// LevelBase[l] is the memory base of level l's nodes for 1 <= l <
+	// RootLevel. LevelBase[0] aliases CounterBase. The root has no memory
+	// address.
+	LevelBase []uint64
+
+	// CHV: the cache hierarchy vault. Data, address and MAC areas sized for
+	// CHVCapacity drained blocks per region, times CHVRegions rotation
+	// regions (wear levelling: successive draining episodes can rotate
+	// across regions so CHV cells wear CHVRegions times slower).
+	CHVCapacity uint64
+	CHVRegions  uint64
+	CHVDataBase uint64
+	CHVAddrBase uint64
+	CHVMACBase  uint64
+
+	// Vault: reserved region for the metadata-cache flush (Anubis-style).
+	VaultBase   uint64
+	VaultBlocks uint64
+
+	End uint64 // first address past all regions
+}
+
+// Config parameterises a layout.
+type Config struct {
+	DataSize    uint64 // bytes of protected data; multiple of CounterCoverage
+	CHVCapacity uint64 // worst-case number of drained cache blocks
+	CHVRegions  uint64 // CHV rotation regions for wear levelling (0 = 1)
+	VaultBlocks uint64 // capacity of the metadata-cache vault in blocks
+}
+
+// NewLayout computes the address map for the given configuration.
+func NewLayout(cfg Config) *Layout {
+	if cfg.DataSize == 0 || cfg.DataSize%CounterCoverage != 0 {
+		panic(fmt.Sprintf("bmt: data size %d must be a positive multiple of %d", cfg.DataSize, CounterCoverage))
+	}
+	l := &Layout{
+		DataSize:    cfg.DataSize,
+		CHVCapacity: cfg.CHVCapacity,
+		VaultBlocks: cfg.VaultBlocks,
+	}
+	l.NumCounterBlocks = cfg.DataSize / CounterCoverage
+
+	next := cfg.DataSize // metadata regions start right after the data
+	l.CounterBase = next
+	next += l.NumCounterBlocks * BlockSize
+
+	l.MACBase = next
+	l.MACBytes = cfg.DataSize / MACCoverage * BlockSize
+	next += l.MACBytes
+
+	// Tree levels.
+	l.LevelCount = []uint64{l.NumCounterBlocks}
+	l.LevelBase = []uint64{l.CounterBase}
+	n := l.NumCounterBlocks
+	for n > 1 {
+		n = (n + Arity - 1) / Arity
+		l.LevelCount = append(l.LevelCount, n)
+		if n > 1 {
+			l.LevelBase = append(l.LevelBase, next)
+			next += n * BlockSize
+		} else {
+			l.LevelBase = append(l.LevelBase, 0) // root: on-chip, no address
+		}
+	}
+
+	// CHV areas.
+	l.CHVRegions = cfg.CHVRegions
+	if l.CHVRegions == 0 {
+		l.CHVRegions = 1
+	}
+	l.CHVDataBase = next
+	next += cfg.CHVCapacity * BlockSize * l.CHVRegions
+	l.CHVAddrBase = next
+	next += ceilDiv(cfg.CHVCapacity, 8) * BlockSize * l.CHVRegions
+	l.CHVMACBase = next
+	next += ceilDiv(cfg.CHVCapacity, 8) * BlockSize * l.CHVRegions // SLM worst case; DLM uses less
+
+	l.VaultBase = next
+	next += cfg.VaultBlocks * BlockSize
+
+	l.End = next
+	return l
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// RootLevel returns the level number of the on-chip root.
+func (l *Layout) RootLevel() int { return len(l.LevelCount) - 1 }
+
+// Levels returns the total number of levels including counters and root.
+func (l *Layout) Levels() int { return len(l.LevelCount) }
+
+// CounterBlockIndex returns the level-0 index of the counter block covering
+// dataAddr.
+func (l *Layout) CounterBlockIndex(dataAddr uint64) uint64 {
+	l.checkData(dataAddr)
+	return dataAddr / CounterCoverage
+}
+
+// CounterBlockAddr returns the memory address of the counter block covering
+// dataAddr.
+func (l *Layout) CounterBlockAddr(dataAddr uint64) uint64 {
+	return l.CounterBase + l.CounterBlockIndex(dataAddr)*BlockSize
+}
+
+// MACBlockAddr returns the memory address of the MAC block covering dataAddr.
+func (l *Layout) MACBlockAddr(dataAddr uint64) uint64 {
+	l.checkData(dataAddr)
+	return l.MACBase + dataAddr/MACCoverage*BlockSize
+}
+
+// NodeAddr returns the memory address of tree node (level, index). The root
+// level has no memory address; asking for it panics.
+func (l *Layout) NodeAddr(level int, index uint64) uint64 {
+	if level < 0 || level >= l.RootLevel() {
+		panic(fmt.Sprintf("bmt: NodeAddr level %d out of stored range [0,%d)", level, l.RootLevel()))
+	}
+	if index >= l.LevelCount[level] {
+		panic(fmt.Sprintf("bmt: node index %d out of range at level %d", index, level))
+	}
+	return l.LevelBase[level] + index*BlockSize
+}
+
+// Parent returns the (level, index) of the parent of node (level, index) and
+// the child's slot (0..7) within the parent.
+func (l *Layout) Parent(level int, index uint64) (pLevel int, pIndex uint64, slot int) {
+	if level >= l.RootLevel() {
+		panic("bmt: the root has no parent")
+	}
+	return level + 1, index / Arity, int(index % Arity)
+}
+
+// Coord maps a metadata memory address back to its (level, index), where
+// level 0 means a counter block. ok is false if addr is not a stored tree or
+// counter address.
+func (l *Layout) Coord(addr uint64) (level int, index uint64, ok bool) {
+	for lv := 0; lv < l.RootLevel(); lv++ {
+		base := l.LevelBase[lv]
+		size := l.LevelCount[lv] * BlockSize
+		if addr >= base && addr < base+size {
+			return lv, (addr - base) / BlockSize, true
+		}
+	}
+	return 0, 0, false
+}
+
+// CHVDataAddr returns the address of the i-th drained block's data slot in
+// rotation region 0.
+func (l *Layout) CHVDataAddr(i uint64) uint64 { return l.CHVDataAddrR(0, i) }
+
+// CHVDataAddrR returns the address of the i-th drained block's data slot in
+// the given rotation region.
+func (l *Layout) CHVDataAddrR(region, i uint64) uint64 {
+	l.checkCHV(region, i)
+	return l.CHVDataBase + region*l.CHVCapacity*BlockSize + i*BlockSize
+}
+
+// CHVAddrBlockAddr returns the address of the address block holding slot i's
+// original address (8 addresses per 64-byte block) and the slot within it,
+// in rotation region 0.
+func (l *Layout) CHVAddrBlockAddr(i uint64) (addr uint64, slot int) {
+	return l.CHVAddrBlockAddrR(0, i)
+}
+
+// CHVAddrBlockAddrR is the rotation-region-aware form of CHVAddrBlockAddr.
+func (l *Layout) CHVAddrBlockAddrR(region, i uint64) (addr uint64, slot int) {
+	l.checkCHV(region, i)
+	area := ceilDiv(l.CHVCapacity, 8) * BlockSize
+	return l.CHVAddrBase + region*area + (i/8)*BlockSize, int(i % 8)
+}
+
+// CHVMACBlockAddr returns the address of the MAC block for slot i under the
+// single-level MAC scheme (one 8-byte MAC per drained block, 8 per block),
+// in rotation region 0.
+func (l *Layout) CHVMACBlockAddr(i uint64) (addr uint64, slot int) {
+	return l.CHVMACBlockAddrR(0, i)
+}
+
+// CHVMACBlockAddrR is the rotation-region-aware form of CHVMACBlockAddr.
+func (l *Layout) CHVMACBlockAddrR(region, i uint64) (addr uint64, slot int) {
+	l.checkCHV(region, i)
+	area := ceilDiv(l.CHVCapacity, 8) * BlockSize
+	return l.CHVMACBase + region*area + (i/8)*BlockSize, int(i % 8)
+}
+
+// CHVMACBlockAddrDLM returns the MAC-block address for slot i under the
+// double-level MAC scheme (one 8-byte second-level MAC per 8 drained blocks,
+// so one 64-byte MAC block per 64 drained blocks), in rotation region 0.
+func (l *Layout) CHVMACBlockAddrDLM(i uint64) (addr uint64, slot int) {
+	return l.CHVMACBlockAddrDLMR(0, i)
+}
+
+// CHVMACBlockAddrDLMR is the rotation-region-aware form of
+// CHVMACBlockAddrDLM.
+func (l *Layout) CHVMACBlockAddrDLMR(region, i uint64) (addr uint64, slot int) {
+	l.checkCHV(region, i)
+	area := ceilDiv(l.CHVCapacity, 8) * BlockSize
+	return l.CHVMACBase + region*area + (i/64)*BlockSize, int((i / 8) % 8)
+}
+
+// VaultAddr returns the address of the i-th block in the metadata-cache
+// vault.
+func (l *Layout) VaultAddr(i uint64) uint64 {
+	if i >= l.VaultBlocks {
+		panic(fmt.Sprintf("bmt: vault index %d out of range %d", i, l.VaultBlocks))
+	}
+	return l.VaultBase + i*BlockSize
+}
+
+// RegionOf classifies an address.
+func (l *Layout) RegionOf(addr uint64) Region {
+	switch {
+	case addr < l.DataSize:
+		return RegionData
+	case addr >= l.CounterBase && addr < l.CounterBase+l.NumCounterBlocks*BlockSize:
+		return RegionCounter
+	case addr >= l.MACBase && addr < l.MACBase+l.MACBytes:
+		return RegionMAC
+	case addr >= l.CHVDataBase && addr < l.CHVAddrBase:
+		return RegionCHVData
+	case addr >= l.CHVAddrBase && addr < l.CHVMACBase:
+		return RegionCHVAddr
+	case addr >= l.CHVMACBase && addr < l.VaultBase:
+		return RegionCHVMAC
+	case addr >= l.VaultBase && addr < l.End:
+		return RegionVault
+	}
+	if _, _, ok := l.Coord(addr); ok {
+		return RegionTree
+	}
+	return RegionUnknown
+}
+
+func (l *Layout) checkData(addr uint64) {
+	if addr >= l.DataSize {
+		panic(fmt.Sprintf("bmt: address %#x outside data region [0,%#x)", addr, l.DataSize))
+	}
+}
+
+func (l *Layout) checkCHV(region, i uint64) {
+	if i >= l.CHVCapacity {
+		panic(fmt.Sprintf("bmt: CHV slot %d out of capacity %d", i, l.CHVCapacity))
+	}
+	if region >= l.CHVRegions {
+		panic(fmt.Sprintf("bmt: CHV region %d out of %d rotation regions", region, l.CHVRegions))
+	}
+}

@@ -1,0 +1,283 @@
+package bmt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func paperLayout() *Layout {
+	return NewLayout(Config{
+		DataSize:    32 << 30, // 32 GB (Table I)
+		CHVCapacity: 400000,
+		VaultBlocks: 32768,
+	})
+}
+
+func TestPaperTreeShape(t *testing.T) {
+	l := paperLayout()
+	if l.NumCounterBlocks != 8<<20 {
+		t.Fatalf("counter blocks = %d, want 8Mi", l.NumCounterBlocks)
+	}
+	// 8Mi leaves -> 1Mi -> 128Ki -> 16Ki -> 2Ki -> 256 -> 32 -> 4 -> 1:
+	// 9 levels counting the counter level, root at level 8.
+	if l.Levels() != 9 {
+		t.Errorf("levels = %d, want 9", l.Levels())
+	}
+	if l.RootLevel() != 8 {
+		t.Errorf("root level = %d, want 8", l.RootLevel())
+	}
+	if l.LevelCount[l.RootLevel()] != 1 {
+		t.Error("root level must have exactly one node")
+	}
+	want := []uint64{8 << 20, 1 << 20, 128 << 10, 16 << 10, 2 << 10, 256, 32, 4, 1}
+	for i, w := range want {
+		if l.LevelCount[i] != w {
+			t.Errorf("level %d count = %d, want %d", i, l.LevelCount[i], w)
+		}
+	}
+}
+
+func TestNonPowerOfEightTree(t *testing.T) {
+	// 10 counter blocks: 10 -> 2 -> 1.
+	l := NewLayout(Config{DataSize: 10 * CounterCoverage, CHVCapacity: 16, VaultBlocks: 8})
+	if got := l.LevelCount; len(got) != 3 || got[0] != 10 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("level counts = %v, want [10 2 1]", got)
+	}
+}
+
+func TestCounterAndMACAddressing(t *testing.T) {
+	l := paperLayout()
+	if l.CounterBlockIndex(0) != 0 || l.CounterBlockIndex(4095) != 0 || l.CounterBlockIndex(4096) != 1 {
+		t.Error("CounterBlockIndex mapping wrong")
+	}
+	if l.CounterBlockAddr(0) != l.CounterBase {
+		t.Error("first counter block must sit at CounterBase")
+	}
+	if l.CounterBlockAddr(4096) != l.CounterBase+64 {
+		t.Error("counter blocks must be 64B apart")
+	}
+	if l.MACBlockAddr(0) != l.MACBase || l.MACBlockAddr(512) != l.MACBase+64 {
+		t.Error("MAC block addressing wrong")
+	}
+	// Two data blocks in the same 512B region share a MAC block.
+	if l.MACBlockAddr(64) != l.MACBlockAddr(0) {
+		t.Error("adjacent data blocks must share a MAC block")
+	}
+}
+
+func TestRegionsDisjointAndClassified(t *testing.T) {
+	l := paperLayout()
+	// Bases must be strictly increasing and aligned.
+	bases := []uint64{l.CounterBase, l.MACBase, l.CHVDataBase, l.CHVAddrBase, l.CHVMACBase, l.VaultBase, l.End}
+	for i := 1; i < len(bases); i++ {
+		if bases[i] <= bases[i-1] {
+			t.Fatalf("region bases not increasing: %v", bases)
+		}
+	}
+	for _, b := range bases {
+		if b%64 != 0 {
+			t.Errorf("base %#x not 64B aligned", b)
+		}
+	}
+	cases := []struct {
+		addr uint64
+		want Region
+	}{
+		{0, RegionData},
+		{l.DataSize - 64, RegionData},
+		{l.CounterBase, RegionCounter},
+		{l.MACBase, RegionMAC},
+		{l.NodeAddr(1, 0), RegionTree},
+		{l.CHVDataBase, RegionCHVData},
+		{l.CHVAddrBase, RegionCHVAddr},
+		{l.CHVMACBase, RegionCHVMAC},
+		{l.VaultBase, RegionVault},
+		{l.End, RegionUnknown},
+	}
+	for _, c := range cases {
+		if got := l.RegionOf(c.addr); got != c.want {
+			t.Errorf("RegionOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestParentChildMath(t *testing.T) {
+	l := paperLayout()
+	pl, pi, slot := l.Parent(0, 17)
+	if pl != 1 || pi != 2 || slot != 1 {
+		t.Errorf("Parent(0,17) = (%d,%d,%d), want (1,2,1)", pl, pi, slot)
+	}
+	// Walking up from any leaf reaches the root in RootLevel steps.
+	level, idx := 0, uint64(l.NumCounterBlocks-1)
+	steps := 0
+	for level < l.RootLevel() {
+		level, idx, _ = l.Parent(level, idx)
+		steps++
+	}
+	if idx != 0 || steps != l.RootLevel() {
+		t.Errorf("walk reached (%d,%d) in %d steps", level, idx, steps)
+	}
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	l := paperLayout()
+	for _, c := range []struct {
+		level int
+		index uint64
+	}{{0, 0}, {0, 12345}, {1, 7}, {3, 1000}, {7, 3}} {
+		addr := l.NodeAddr(c.level, c.index)
+		lv, idx, ok := l.Coord(addr)
+		if !ok || lv != c.level || idx != c.index {
+			t.Errorf("Coord(NodeAddr(%d,%d)) = (%d,%d,%v)", c.level, c.index, lv, idx, ok)
+		}
+	}
+	if _, _, ok := l.Coord(0); ok {
+		t.Error("Coord of a data address must fail")
+	}
+	if _, _, ok := l.Coord(l.CHVDataBase); ok {
+		t.Error("Coord of a CHV address must fail")
+	}
+}
+
+// Property: Coord is the inverse of NodeAddr for all stored levels.
+func TestCoordInverseProperty(t *testing.T) {
+	l := NewLayout(Config{DataSize: 1 << 24, CHVCapacity: 64, VaultBlocks: 8})
+	f := func(lvRaw uint8, idxRaw uint32) bool {
+		lv := int(lvRaw) % l.RootLevel()
+		idx := uint64(idxRaw) % l.LevelCount[lv]
+		gl, gi, ok := l.Coord(l.NodeAddr(lv, idx))
+		return ok && gl == lv && gi == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCHVAddressing(t *testing.T) {
+	l := paperLayout()
+	if l.CHVDataAddr(0) != l.CHVDataBase || l.CHVDataAddr(1) != l.CHVDataBase+64 {
+		t.Error("CHV data slots must be contiguous blocks")
+	}
+	a0, s0 := l.CHVAddrBlockAddr(0)
+	a7, s7 := l.CHVAddrBlockAddr(7)
+	a8, s8 := l.CHVAddrBlockAddr(8)
+	if a0 != a7 || s0 != 0 || s7 != 7 {
+		t.Error("first 8 CHV slots must share one address block")
+	}
+	if a8 != a0+64 || s8 != 0 {
+		t.Error("slot 8 must start the next address block")
+	}
+	m0, ms0 := l.CHVMACBlockAddr(0)
+	m8, _ := l.CHVMACBlockAddr(8)
+	if m0 == m8 || ms0 != 0 {
+		t.Error("SLM: 8 slots per MAC block")
+	}
+	// DLM: 64 slots per MAC block, slot index advances every 8 blocks.
+	d0, dls0 := l.CHVMACBlockAddrDLM(0)
+	d63, dls63 := l.CHVMACBlockAddrDLM(63)
+	d64, _ := l.CHVMACBlockAddrDLM(64)
+	if d0 != d63 || dls0 != 0 || dls63 != 7 {
+		t.Error("DLM: 64 slots must share one MAC block")
+	}
+	if d64 != d0+64 {
+		t.Error("DLM: slot 64 must start the next MAC block")
+	}
+}
+
+func TestCHVRotationRegions(t *testing.T) {
+	l := NewLayout(Config{
+		DataSize:    1 << 24,
+		CHVCapacity: 100,
+		CHVRegions:  3,
+		VaultBlocks: 8,
+	})
+	if l.CHVRegions != 3 {
+		t.Fatalf("regions = %d", l.CHVRegions)
+	}
+	// Regions are contiguous, disjoint, capacity apart within each area.
+	if l.CHVDataAddrR(1, 0) != l.CHVDataAddrR(0, 0)+100*BlockSize {
+		t.Error("data regions not capacity-spaced")
+	}
+	if l.CHVDataAddrR(2, 99) >= l.CHVAddrBase {
+		t.Error("data region 2 overflows into the address area")
+	}
+	a0, _ := l.CHVAddrBlockAddrR(0, 0)
+	a1, _ := l.CHVAddrBlockAddrR(1, 0)
+	if a1 != a0+13*BlockSize { // ceil(100/8)=13 blocks per region
+		t.Errorf("addr regions spaced %d blocks apart, want 13", (a1-a0)/BlockSize)
+	}
+	m2, _ := l.CHVMACBlockAddrR(2, 99)
+	if m2 >= l.VaultBase {
+		t.Error("MAC region 2 overflows into the vault")
+	}
+	// DLM addressing stays inside its region too.
+	d2, _ := l.CHVMACBlockAddrDLMR(2, 99)
+	if d2 < l.CHVMACBase || d2 >= l.VaultBase {
+		t.Error("DLM MAC address outside the MAC area")
+	}
+	// Region-0 convenience wrappers agree with the R forms.
+	if l.CHVDataAddr(5) != l.CHVDataAddrR(0, 5) {
+		t.Error("wrapper mismatch")
+	}
+	// All region classification still works.
+	if l.RegionOf(l.CHVDataAddrR(2, 0)) != RegionCHVData {
+		t.Error("rotated data slot misclassified")
+	}
+	if l.RegionOf(a1) != RegionCHVAddr {
+		t.Error("rotated addr block misclassified")
+	}
+}
+
+func TestCHVRegionOutOfRangePanics(t *testing.T) {
+	l := NewLayout(Config{DataSize: 1 << 24, CHVCapacity: 16, CHVRegions: 2, VaultBlocks: 8})
+	defer func() {
+		if recover() == nil {
+			t.Error("region out of range did not panic")
+		}
+	}()
+	l.CHVDataAddrR(2, 0)
+}
+
+func TestDefaultSingleRegion(t *testing.T) {
+	l := NewLayout(Config{DataSize: 1 << 24, CHVCapacity: 16, VaultBlocks: 8})
+	if l.CHVRegions != 1 {
+		t.Errorf("default regions = %d, want 1", l.CHVRegions)
+	}
+}
+
+func TestVaultAddr(t *testing.T) {
+	l := paperLayout()
+	if l.VaultAddr(0) != l.VaultBase || l.VaultAddr(5) != l.VaultBase+5*64 {
+		t.Error("vault addressing wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	l := paperLayout()
+	for name, fn := range map[string]func(){
+		"bad data size":       func() { NewLayout(Config{DataSize: 100}) },
+		"zero data size":      func() { NewLayout(Config{}) },
+		"root NodeAddr":       func() { l.NodeAddr(l.RootLevel(), 0) },
+		"node index range":    func() { l.NodeAddr(1, l.LevelCount[1]) },
+		"parent of root":      func() { l.Parent(l.RootLevel(), 0) },
+		"data region check":   func() { l.CounterBlockAddr(l.DataSize) },
+		"chv capacity":        func() { l.CHVDataAddr(l.CHVCapacity) },
+		"vault range":         func() { l.VaultAddr(l.VaultBlocks) },
+		"negative node level": func() { l.NodeAddr(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionCHVData.String() != "chv-data" || RegionUnknown.String() != "unknown" {
+		t.Error("region names wrong")
+	}
+}

@@ -1,0 +1,79 @@
+// Package cliutil holds the flag-parsing helpers shared by the horus
+// command-line tools: scheme, persistence-domain and workload selection.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	horus "repro"
+)
+
+// ParseScheme maps a user-facing name to a drain design. Accepted forms:
+// non-secure/ns, base-lu/lu, base-eu/eu, horus-slm/slm, horus-dlm/dlm.
+func ParseScheme(s string) (horus.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "non-secure", "nonsecure", "ns":
+		return horus.NonSecure, nil
+	case "base-lu", "lu":
+		return horus.BaseLU, nil
+	case "base-eu", "eu":
+		return horus.BaseEU, nil
+	case "horus-slm", "slm":
+		return horus.HorusSLM, nil
+	case "horus-dlm", "dlm":
+		return horus.HorusDLM, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want non-secure|base-lu|base-eu|horus-slm|horus-dlm)", s)
+	}
+}
+
+// ParseDomain maps a user-facing name to a persistence domain: adr,
+// wpq/adr+wpq, bbb, epd.
+func ParseDomain(s string) (horus.PersistDomain, error) {
+	switch strings.ToLower(s) {
+	case "adr":
+		return horus.DomainADR, nil
+	case "wpq", "adr+wpq":
+		return horus.DomainADRWPQ, nil
+	case "bbb":
+		return horus.DomainBBB, nil
+	case "epd", "eadr":
+		return horus.DomainEPD, nil
+	default:
+		return 0, fmt.Errorf("unknown persistence domain %q (want adr|wpq|bbb|epd)", s)
+	}
+}
+
+// MakeWorkload builds a named workload stream: kv, txlog, zipf, uniform,
+// sequential, graph.
+func MakeWorkload(name string, cfg horus.WorkloadConfig) (*horus.Workload, error) {
+	switch strings.ToLower(name) {
+	case "kv":
+		return horus.KVStoreWorkload(cfg, 4), nil
+	case "txlog":
+		return horus.TxLogWorkload(cfg, 2, 4), nil
+	case "zipf":
+		return horus.ZipfWorkload(cfg, 1.2), nil
+	case "uniform":
+		return horus.UniformWorkload(cfg), nil
+	case "sequential":
+		return horus.SequentialWorkload(cfg), nil
+	case "graph":
+		return horus.GraphWorkload(cfg, 3), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want kv|txlog|zipf|uniform|sequential|graph)", name)
+	}
+}
+
+// ParseScale maps paper|test to a configuration.
+func ParseScale(s string) (horus.Config, error) {
+	switch strings.ToLower(s) {
+	case "paper":
+		return horus.DefaultConfig(), nil
+	case "test":
+		return horus.TestConfig(), nil
+	default:
+		return horus.Config{}, fmt.Errorf("unknown scale %q (want paper|test)", s)
+	}
+}

@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"testing"
+
+	horus "repro"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]horus.Scheme{
+		"ns": horus.NonSecure, "non-secure": horus.NonSecure, "NonSecure": horus.NonSecure,
+		"lu": horus.BaseLU, "Base-LU": horus.BaseLU,
+		"eu": horus.BaseEU, "base-eu": horus.BaseEU,
+		"slm": horus.HorusSLM, "HORUS-SLM": horus.HorusSLM,
+		"dlm": horus.HorusDLM, "horus-dlm": horus.HorusDLM,
+	}
+	for in, want := range cases {
+		got, err := ParseScheme(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestParseDomain(t *testing.T) {
+	cases := map[string]horus.PersistDomain{
+		"adr": horus.DomainADR, "wpq": horus.DomainADRWPQ, "adr+wpq": horus.DomainADRWPQ,
+		"bbb": horus.DomainBBB, "epd": horus.DomainEPD, "eADR": horus.DomainEPD,
+	}
+	for in, want := range cases {
+		got, err := ParseDomain(in)
+		if err != nil || got != want {
+			t.Errorf("ParseDomain(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseDomain("dram"); err == nil {
+		t.Error("bogus domain accepted")
+	}
+}
+
+func TestMakeWorkload(t *testing.T) {
+	cfg := horus.WorkloadConfig{Ops: 100, WorkingSet: 64 << 10, Seed: 1}
+	for _, name := range []string{"kv", "txlog", "zipf", "uniform", "sequential", "graph"} {
+		wl, err := MakeWorkload(name, cfg)
+		if err != nil {
+			t.Errorf("MakeWorkload(%q): %v", name, err)
+			continue
+		}
+		if len(wl.Ops) != cfg.Ops {
+			t.Errorf("%s: %d ops", name, len(wl.Ops))
+		}
+	}
+	if _, err := MakeWorkload("nope", cfg); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	p, err := ParseScale("paper")
+	if err != nil || p.DataSize != 32<<30 {
+		t.Error("paper scale wrong")
+	}
+	tc, err := ParseScale("test")
+	if err != nil || tc.DataSize != 1<<30 {
+		t.Error("test scale wrong")
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package cme
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBlockEncodeDecodeRoundTrip(t *testing.T) {
+	var cb CounterBlock
+	cb.Major = 0xDEADBEEF12345678
+	for i := range cb.Minors {
+		cb.Minors[i] = byte((i * 13) % MinorLimit)
+	}
+	got := DecodeCounterBlock(cb.Encode())
+	if got.Major != cb.Major {
+		t.Errorf("major = %#x, want %#x", got.Major, cb.Major)
+	}
+	if got.Minors != cb.Minors {
+		t.Errorf("minors mismatch: got %v want %v", got.Minors, cb.Minors)
+	}
+}
+
+// Property: encode/decode round-trips for arbitrary major and 7-bit minors.
+func TestCounterBlockRoundTripProperty(t *testing.T) {
+	f := func(major uint64, minors [BlocksPerCounter]byte) bool {
+		var cb CounterBlock
+		cb.Major = major
+		for i, m := range minors {
+			cb.Minors[i] = m & 0x7F
+		}
+		got := DecodeCounterBlock(cb.Encode())
+		return got.Major == cb.Major && got.Minors == cb.Minors
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterValueAndIncrement(t *testing.T) {
+	var cb CounterBlock
+	if cb.Counter(0) != 0 {
+		t.Fatal("fresh counter not zero")
+	}
+	if cb.Increment(5) {
+		t.Fatal("first increment must not overflow")
+	}
+	if cb.Counter(5) != 1 {
+		t.Errorf("counter(5) = %d, want 1", cb.Counter(5))
+	}
+	if cb.Counter(6) != 0 {
+		t.Error("increment leaked into a neighbouring slot")
+	}
+}
+
+func TestMinorCounterOverflow(t *testing.T) {
+	var cb CounterBlock
+	cb.Minors[3] = MinorLimit - 1
+	cb.Minors[7] = 42
+	overflowed := cb.Increment(3)
+	if !overflowed {
+		t.Fatal("expected overflow")
+	}
+	if cb.Major != 1 {
+		t.Errorf("major = %d, want 1", cb.Major)
+	}
+	if cb.Minors[7] != 0 {
+		t.Error("overflow must reset all minors (region re-encryption)")
+	}
+	if cb.Minors[3] != 1 {
+		t.Errorf("overflowing slot minor = %d, want 1", cb.Minors[3])
+	}
+	// Counter values must still be strictly increasing across the overflow.
+	if cb.Counter(3) != 1*MinorLimit+1 {
+		t.Errorf("counter after overflow = %d", cb.Counter(3))
+	}
+}
+
+// Property: the effective counter of a slot strictly increases over any
+// number of increments (never reuses a pad).
+func TestCounterMonotoneProperty(t *testing.T) {
+	f := func(slot uint8, steps uint16) bool {
+		i := int(slot) % BlocksPerCounter
+		var cb CounterBlock
+		prev := cb.Counter(i)
+		for s := 0; s < int(steps)%500+1; s++ {
+			cb.Increment(i)
+			cur := cb.Counter(i)
+			if cur <= prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterIndex(t *testing.T) {
+	if CounterIndex(0) != 0 || CounterIndex(64) != 1 || CounterIndex(63*64) != 63 {
+		t.Error("CounterIndex wrong within region")
+	}
+	if CounterIndex(64*64) != 0 {
+		t.Error("CounterIndex must wrap at the 4KB region boundary")
+	}
+}
+
+func TestCounterOutOfRangePanics(t *testing.T) {
+	var cb CounterBlock
+	for _, fn := range []func(){
+		func() { cb.Counter(-1) },
+		func() { cb.Counter(BlocksPerCounter) },
+		func() { cb.Increment(BlocksPerCounter) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range index did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	e := NewEngine(1)
+	var plain [64]byte
+	for i := range plain {
+		plain[i] = byte(i)
+	}
+	ct := e.Encrypt(0x4000, 7, plain)
+	if ct == plain {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	if got := e.Decrypt(0x4000, 7, ct); got != plain {
+		t.Fatal("decrypt did not recover plaintext")
+	}
+}
+
+func TestEncryptionSpatialAndTemporalUniqueness(t *testing.T) {
+	e := NewEngine(1)
+	var plain [64]byte // same plaintext everywhere
+	ctA := e.Encrypt(0x1000, 1, plain)
+	ctB := e.Encrypt(0x2000, 1, plain)
+	ctA2 := e.Encrypt(0x1000, 2, plain)
+	if ctA == ctB {
+		t.Error("same plaintext at different addresses produced identical ciphertext (spatial leak)")
+	}
+	if ctA == ctA2 {
+		t.Error("same plaintext with different counters produced identical ciphertext (temporal leak)")
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	a, b := NewEngine(1), NewEngine(2)
+	var plain [64]byte
+	if a.Encrypt(0, 0, plain) == b.Encrypt(0, 0, plain) {
+		t.Error("different seeds produced identical ciphertext")
+	}
+	if a.DataMAC(0, 0, [64]byte{}) == b.DataMAC(0, 0, [64]byte{}) {
+		t.Error("different seeds produced identical MACs")
+	}
+}
+
+// Property: decrypt(encrypt(p)) == p for arbitrary plaintext/addr/counter.
+func TestEncryptRoundTripProperty(t *testing.T) {
+	e := NewEngine(42)
+	f := func(addr, ctr uint64, plain [64]byte) bool {
+		return e.Decrypt(addr, ctr, e.Encrypt(addr, ctr, plain)) == plain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataMACBindsAllInputs(t *testing.T) {
+	e := NewEngine(1)
+	var ct [64]byte
+	ct[0] = 0xAA
+	base := e.DataMAC(0x1000, 5, ct)
+	if e.DataMAC(0x1040, 5, ct) == base {
+		t.Error("MAC does not bind address (splice attack possible)")
+	}
+	if e.DataMAC(0x1000, 6, ct) == base {
+		t.Error("MAC does not bind counter (replay attack possible)")
+	}
+	ct[0] ^= 1
+	if e.DataMAC(0x1000, 5, ct) == base {
+		t.Error("MAC does not bind ciphertext (tamper attack possible)")
+	}
+}
+
+func TestNodeMACBindsPosition(t *testing.T) {
+	e := NewEngine(1)
+	var n [64]byte
+	n[5] = 9
+	base := e.NodeMAC(2, 100, n)
+	if e.NodeMAC(3, 100, n) == base {
+		t.Error("NodeMAC does not bind level")
+	}
+	if e.NodeMAC(2, 101, n) == base {
+		t.Error("NodeMAC does not bind index")
+	}
+}
+
+func TestMACOverMACs(t *testing.T) {
+	e := NewEngine(1)
+	macs := []MAC{{1}, {2}, {3}}
+	a := e.MACOverMACs(0, macs)
+	macs[1] = MAC{9}
+	b := e.MACOverMACs(0, macs)
+	if a == b {
+		t.Error("MACOverMACs does not bind member MACs")
+	}
+	if e.MACOverMACs(1, macs) == b {
+		t.Error("MACOverMACs does not bind tag")
+	}
+}
+
+func TestPackUnpackMACs(t *testing.T) {
+	macs := make([]MAC, 8)
+	for i := range macs {
+		macs[i] = MAC{byte(i + 1)}
+	}
+	blk := PackMACs(macs)
+	out := UnpackMACs(blk)
+	for i := range macs {
+		if out[i] != macs[i] {
+			t.Errorf("slot %d mismatch", i)
+		}
+	}
+	// Partial packs leave later slots zero.
+	blk2 := PackMACs(macs[:3])
+	out2 := UnpackMACs(blk2)
+	if out2[3] != (MAC{}) {
+		t.Error("partial pack left garbage in unused slot")
+	}
+}
+
+func TestPackTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("packing 9 MACs did not panic")
+		}
+	}()
+	PackMACs(make([]MAC, 9))
+}
+
+func TestMACSlot(t *testing.T) {
+	if MACSlot(0) != 0 || MACSlot(64) != 1 || MACSlot(7*64) != 7 || MACSlot(8*64) != 0 {
+		t.Error("MACSlot mapping wrong")
+	}
+}
+
+func TestOTPDeterministic(t *testing.T) {
+	e := NewEngine(3)
+	if e.OTP(100*64, 5) != e.OTP(100*64, 5) {
+		t.Error("OTP not deterministic")
+	}
+}

@@ -1,0 +1,68 @@
+package cme
+
+import "testing"
+
+// Fuzzing targets: run as seed-corpus regression tests under `go test`,
+// and as real fuzzers with `go test -fuzz`.
+
+func FuzzCounterBlockDecodeEncode(f *testing.F) {
+	f.Add(make([]byte, 64))
+	seed := make([]byte, 64)
+	for i := range seed {
+		seed[i] = byte(i*37 + 1)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 64 {
+			return
+		}
+		var blk [64]byte
+		copy(blk[:], raw)
+		// Decode/encode/decode must be a fixed point: whatever bit pattern
+		// arrives, the second decode equals the first (the codec never
+		// loses or invents counter state).
+		cb := DecodeCounterBlock(blk)
+		enc := cb.Encode()
+		cb2 := DecodeCounterBlock(enc)
+		if cb.Major != cb2.Major || cb.Minors != cb2.Minors {
+			t.Fatalf("decode/encode not idempotent: %+v vs %+v", cb, cb2)
+		}
+		// And every minor stays within 7 bits.
+		for i, m := range cb.Minors {
+			if m >= MinorLimit {
+				t.Fatalf("minor %d = %d exceeds 7 bits", i, m)
+			}
+		}
+	})
+}
+
+func FuzzEncryptDecryptRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), make([]byte, 64))
+	f.Add(uint64(0x4000), uint64(7), make([]byte, 64))
+	f.Fuzz(func(t *testing.T, addr, ctr uint64, plain []byte) {
+		if len(plain) < 64 {
+			return
+		}
+		var p [64]byte
+		copy(p[:], plain)
+		e := NewEngine(1)
+		ct := e.Encrypt(addr, ctr, p)
+		if e.Decrypt(addr, ctr, ct) != p {
+			t.Fatal("round trip failed")
+		}
+		// Decrypting under the wrong counter must not yield the plaintext
+		// (pads are unique per counter).
+		if e.Decrypt(addr, ctr+1, ct) == p && !allZero(p[:]) {
+			t.Fatal("wrong counter decrypted successfully")
+		}
+	})
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,273 @@
+// Package core implements the paper's primary contribution: draining the
+// cache hierarchy of an extended-persistence-domain (EPD) system to
+// non-volatile memory when a power outage is detected, under four schemes:
+//
+//   - NonSecure: the reference EPD without memory security — each dirty
+//     line is written in place, nothing else (Fig. 8 part A).
+//   - BaseLU / BaseEU: the baseline secure EPD — each dirty line goes
+//     through the full run-time secure write path (counter fetch + verify,
+//     tree update lazy or eager, data MAC), then the security-metadata
+//     caches are flushed (Fig. 8 part B, §IV-B).
+//   - HorusSLM / HorusDLM: Horus — lines are encrypted with the on-chip
+//     drain counter and written sequentially to the cache hierarchy vault
+//     (CHV) with coalesced address and MAC blocks, touching no run-time
+//     security metadata at all (Fig. 8 part C, Fig. 9); DLM additionally
+//     coalesces MACs hierarchically through two on-chip registers
+//     (Fig. 10).
+//
+// The package produces both the functional outcome (bytes in the simulated
+// NVM plus the persistent-register state recovery needs) and the metrics
+// the paper's evaluation reports: draining time, per-category memory
+// accesses, and per-category MAC calculations.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bmt"
+	"repro/internal/cme"
+	"repro/internal/hierarchy"
+	"repro/internal/mem"
+	"repro/internal/secmem"
+	"repro/internal/sim"
+)
+
+// Scheme selects a draining design.
+type Scheme int
+
+// Draining schemes compared in the paper's evaluation (§V-A).
+const (
+	NonSecure Scheme = iota
+	BaseLU
+	BaseEU
+	HorusSLM
+	HorusDLM
+)
+
+var schemeNames = map[Scheme]string{
+	NonSecure: "NonSecure",
+	BaseLU:    "Base-LU",
+	BaseEU:    "Base-EU",
+	HorusSLM:  "Horus-SLM",
+	HorusDLM:  "Horus-DLM",
+}
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Secure reports whether the scheme provides memory security.
+func (s Scheme) Secure() bool { return s != NonSecure }
+
+// UsesCHV reports whether the scheme drains into the cache hierarchy vault.
+func (s Scheme) UsesCHV() bool { return s == HorusSLM || s == HorusDLM }
+
+// RuntimeScheme returns the integrity-tree update scheme the design runs at
+// run time (and, for the baselines, during draining).
+func (s Scheme) RuntimeScheme() secmem.UpdateScheme {
+	if s == BaseEU {
+		return secmem.EagerUpdate
+	}
+	return secmem.LazyUpdate
+}
+
+// AllSchemes lists every scheme in the paper's presentation order.
+func AllSchemes() []Scheme {
+	return []Scheme{NonSecure, BaseLU, BaseEU, HorusSLM, HorusDLM}
+}
+
+// MAC-calculation categories produced by the Horus drain path, extending
+// the secmem categories for Fig. 13's breakdown.
+const (
+	MACCHVData = "chv-data-mac" // MAC protecting a drained block (+its address and drain counter)
+	MACCHVL2   = "chv-l2-mac"   // second-level MAC of the DLM scheme
+)
+
+// PersistentState is the on-chip persistent register file that survives a
+// crash: the drain counters (§IV-C1), the CHV episode bookkeeping, the
+// integrity-tree root, and the metadata-cache vault record.
+type PersistentState struct {
+	// DC is the drain counter: monotonically increasing across all flush
+	// operations ever performed, guaranteeing unique pads.
+	DC uint64
+	// EDC is the ephemeral drain counter: the number of blocks drained in
+	// the most recent episode (cleared after each recovery).
+	EDC uint64
+	// Episode counts completed draining episodes over the machine's life.
+	Episode uint64
+	// CHVRegion is the rotation region the last episode drained into
+	// (wear levelling across Layout.CHVRegions regions).
+	CHVRegion uint64
+	// Root is the integrity-tree root register content.
+	Root mem.Block
+	// Vault is the metadata-cache vault record of the last drain.
+	Vault secmem.VaultRecord
+	// Scheme records which design produced this state.
+	Scheme Scheme
+}
+
+// Result reports one draining episode.
+type Result struct {
+	Scheme Scheme
+
+	// DrainTime is the simulated wall-clock time from outage detection to
+	// the last durable write, the paper's power-hold-up proxy (Fig. 11).
+	DrainTime sim.Time
+
+	// BlocksDrained is the number of dirty cache lines flushed.
+	BlocksDrained int
+
+	// MemReads / MemWrites are per-category access counts (Figs. 6 and 12).
+	MemReads  *sim.CounterSet
+	MemWrites *sim.CounterSet
+
+	// MACCalcs is the per-category MAC-computation count (Fig. 13).
+	MACCalcs *sim.CounterSet
+
+	// AESOps counts one-time-pad generations.
+	AESOps int64
+
+	// Persist is the persistent-register state recovery starts from.
+	Persist PersistentState
+}
+
+// TotalMemAccesses returns reads + writes (the Fig. 6 metric).
+func (r Result) TotalMemAccesses() int64 {
+	return r.MemReads.Total() + r.MemWrites.Total()
+}
+
+// TotalMACs returns the total MAC calculations.
+func (r Result) TotalMACs() int64 { return r.MACCalcs.Total() }
+
+// System bundles the components a drain operates on.
+type System struct {
+	Layout *bmt.Layout
+	Enc    *cme.Engine
+	NVM    *mem.Controller
+	Sec    *secmem.Controller // run-time secure controller (baselines + metadata flush)
+}
+
+// Drainer executes one draining episode for a given scheme.
+type Drainer struct {
+	scheme Scheme
+	sys    *System
+
+	// Horus on-chip resources (Fig. 9, Fig. 10, §IV-D).
+	dc       uint64 // drain counter register (persistent)
+	edc      uint64 // ephemeral drain counter register (persistent)
+	episodes uint64 // completed draining episodes (persistent)
+	region   uint64 // CHV rotation region of the episode in progress
+}
+
+// NewDrainer returns a drainer for the scheme over the system. The initial
+// drain-counter value persists from previous episodes (pass 0 for a fresh
+// machine).
+func NewDrainer(scheme Scheme, sys *System, initialDC uint64) *Drainer {
+	if sys.Layout == nil || sys.Enc == nil || sys.NVM == nil {
+		panic("core: incomplete system")
+	}
+	if scheme.Secure() && sys.Sec == nil {
+		panic("core: secure schemes need a secmem controller")
+	}
+	return &Drainer{scheme: scheme, sys: sys, dc: initialDC}
+}
+
+// Drain flushes every dirty block of the hierarchy (in the given flush
+// order) and then the security-metadata caches, returning the episode's
+// metrics and persistent state. Statistics of the underlying NVM and
+// secure controller are reset at entry so the result covers exactly the
+// draining window, as the paper measures it.
+func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
+	d.sys.NVM.ResetStats()
+	if d.sys.Sec != nil {
+		d.sys.Sec.ResetStats()
+	}
+
+	// Wear levelling: rotate the CHV target region per episode.
+	d.region = d.episodes % d.sys.Layout.CHVRegions
+
+	var t sim.Time
+	var err error
+	switch d.scheme {
+	case NonSecure:
+		t = d.drainNonSecure(blocks)
+	case BaseLU, BaseEU:
+		t, err = d.drainBaseline(blocks)
+	case HorusSLM, HorusDLM:
+		t = d.drainHorus(blocks)
+	default:
+		panic("core: unknown scheme " + d.scheme.String())
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Flush the security-metadata caches (negligible for all schemes per
+	// Fig. 12, but required for crash consistency).
+	var vault secmem.VaultRecord
+	if d.scheme.Secure() {
+		var done sim.Time
+		vault, done = d.sys.Sec.FlushMetadataCaches(t)
+		t = sim.MaxTime(t, done)
+	}
+
+	t = sim.MaxTime(t, d.sys.NVM.LastDone())
+	if d.sys.Sec != nil {
+		t = sim.MaxTime(t, d.sys.Sec.EnginesLastDone())
+	}
+
+	d.edc = uint64(len(blocks))
+	d.episodes++
+	res := Result{
+		Scheme:        d.scheme,
+		DrainTime:     t,
+		BlocksDrained: len(blocks),
+		MemReads:      d.sys.NVM.Reads().Clone(),
+		MemWrites:     d.sys.NVM.Writes().Clone(),
+		MACCalcs:      sim.NewCounterSet(),
+		Persist: PersistentState{
+			DC:        d.dc,
+			EDC:       d.edc,
+			Episode:   d.episodes,
+			CHVRegion: d.region,
+			Vault:     vault,
+			Scheme:    d.scheme,
+		},
+	}
+	if d.sys.Sec != nil {
+		res.MACCalcs = d.sys.Sec.MACCalcs().Clone()
+		res.AESOps = d.sys.Sec.AESOps()
+		res.Persist.Root = d.sys.Sec.RootRegister()
+	}
+	return res, nil
+}
+
+// drainNonSecure writes every dirty line in place with no protection
+// (Fig. 8 part A).
+func (d *Drainer) drainNonSecure(blocks []hierarchy.DirtyBlock) sim.Time {
+	var t sim.Time
+	for _, b := range blocks {
+		done := d.sys.NVM.Write(0, b.Addr, b.Data, mem.CatData)
+		t = sim.MaxTime(t, done)
+	}
+	return t
+}
+
+// drainBaseline pushes every dirty line through the run-time secure write
+// path: counter fetch and verification walk, counter increment, tree update
+// (lazy or eager), data-MAC update, encrypt, write in place (Fig. 8 part B).
+func (d *Drainer) drainBaseline(blocks []hierarchy.DirtyBlock) (sim.Time, error) {
+	var t sim.Time
+	for _, b := range blocks {
+		done, err := d.sys.Sec.WriteBlock(0, b.Addr, b.Data)
+		if err != nil {
+			return t, fmt.Errorf("core: baseline drain of %#x: %w", b.Addr, err)
+		}
+		t = sim.MaxTime(t, done)
+	}
+	return t, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hierarchy"
+	"repro/internal/mem"
+)
+
+func TestHorusDrainEmpty(t *testing.T) {
+	sys, _ := buildSystem(t, HorusSLM)
+	d := NewDrainer(HorusSLM, sys, 0)
+	res, err := d.Drain(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksDrained != 0 {
+		t.Error("empty drain drained blocks")
+	}
+	if res.MemWrites.Get(string(mem.CatCHVData)) != 0 {
+		t.Error("empty drain wrote CHV data")
+	}
+	if res.Persist.DC != 0 || res.Persist.EDC != 0 {
+		t.Error("empty drain advanced counters")
+	}
+}
+
+func TestHorusDrainExactGroupSizes(t *testing.T) {
+	// Exactly 8 and exactly 64 blocks: no partial-register tails.
+	for _, n := range []int{8, 64} {
+		for _, scheme := range []Scheme{HorusSLM, HorusDLM} {
+			sys, _ := buildSystem(t, scheme)
+			var blocks []hierarchy.DirtyBlock
+			for i := 0; i < n; i++ {
+				blocks = append(blocks, hierarchy.DirtyBlock{Addr: uint64(i) * 16384, Data: mem.Block{0: byte(i)}})
+			}
+			d := NewDrainer(scheme, sys, 0)
+			res, err := d.Drain(blocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantAddr := int64((n + 7) / 8)
+			if got := res.MemWrites.Get(string(mem.CatCHVAddr)); got != wantAddr {
+				t.Errorf("%v n=%d: addr blocks = %d, want %d", scheme, n, got, wantAddr)
+			}
+			wantMAC := wantAddr
+			if scheme == HorusDLM {
+				wantMAC = int64((n + 63) / 64)
+			}
+			if got := res.MemWrites.Get(string(mem.CatCHVMAC)); got != wantMAC {
+				t.Errorf("%v n=%d: mac blocks = %d, want %d", scheme, n, got, wantMAC)
+			}
+		}
+	}
+}
+
+func TestDrainCounterContinuesAcrossEpisodes(t *testing.T) {
+	sys, _ := buildSystem(t, HorusSLM)
+	d := NewDrainer(HorusSLM, sys, 100) // persisted DC from earlier life
+	blocks := []hierarchy.DirtyBlock{{Addr: 16384}, {Addr: 32768}}
+	res1, err := d.Drain(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Persist.DC != 102 {
+		t.Errorf("DC after episode 1 = %d, want 102", res1.Persist.DC)
+	}
+	res2, err := d.Drain(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Persist.DC != 104 || res2.Persist.EDC != 2 {
+		t.Errorf("episode 2 persist = %+v", res2.Persist)
+	}
+}
+
+// Property: the CHV ciphertext of a block never repeats across episodes,
+// even for identical content at identical slots (unique drain counters).
+func TestCHVCiphertextUniquenessProperty(t *testing.T) {
+	sys, _ := buildSystem(t, HorusSLM)
+	d := NewDrainer(HorusSLM, sys, 0)
+	f := func(content [8]byte, episodes uint8) bool {
+		var data mem.Block
+		copy(data[:], content[:])
+		blk := []hierarchy.DirtyBlock{{Addr: 16384, Data: data}}
+		seen := make(map[mem.Block]bool)
+		n := int(episodes)%5 + 2
+		for e := 0; e < n; e++ {
+			if _, err := d.Drain(blk); err != nil {
+				return false
+			}
+			ct := sys.NVM.PeekRead(sys.Layout.CHVDataAddr(0))
+			if seen[ct] {
+				return false
+			}
+			seen[ct] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaselineDrainTwice(t *testing.T) {
+	// Draining the same addresses twice through the run-time path must
+	// advance counters and keep everything verifiable.
+	sys, h := buildSystem(t, BaseLU)
+	blocks := fillWorstCase(h, 30)[:500]
+	d := NewDrainer(BaseLU, sys, 0)
+	if _, err := d.Drain(blocks); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := d.Drain(blocks)
+	if err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if res2.BlocksDrained != 500 {
+		t.Error("second drain incomplete")
+	}
+	got, _, err := sys.Sec.ReadBlock(res2.DrainTime, blocks[0].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != blocks[0].Data {
+		t.Error("content wrong after double drain")
+	}
+}
+
+func TestHorusObliviousToFillPattern(t *testing.T) {
+	// The paper: Horus's drain cost is independent of the spatial
+	// characteristics of the pre-crash contents (§V-A). Access counts must
+	// be identical for dense and sparse fills of the same size.
+	counts := make([]int64, 0, 2)
+	for _, pattern := range []hierarchy.FillPattern{hierarchy.PatternDense, hierarchy.PatternWorstCaseSparse} {
+		sys, h := buildSystem(t, HorusSLM)
+		h.FillAllDirty(hierarchy.FillOptions{Pattern: pattern, DataSize: 256 << 20, Seed: 3})
+		d := NewDrainer(HorusSLM, sys, 0)
+		res, err := d.Drain(h.DirtyBlocks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, res.TotalMemAccesses())
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("Horus drain cost depends on fill pattern: %v", counts)
+	}
+}
+
+func TestBaselineSensitiveToFillPattern(t *testing.T) {
+	// Conversely the baseline must be cheaper on a dense fill.
+	var dense, sparse int64
+	for i, pattern := range []hierarchy.FillPattern{hierarchy.PatternDense, hierarchy.PatternWorstCaseSparse} {
+		sys, h := buildSystem(t, BaseLU)
+		h.FillAllDirty(hierarchy.FillOptions{Pattern: pattern, DataSize: 256 << 20, Seed: 3})
+		d := NewDrainer(BaseLU, sys, 0)
+		res, err := d.Drain(h.DirtyBlocks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			dense = res.TotalMemAccesses()
+		} else {
+			sparse = res.TotalMemAccesses()
+		}
+	}
+	if sparse <= 2*dense {
+		t.Errorf("baseline not pattern-sensitive: dense=%d sparse=%d", dense, sparse)
+	}
+}

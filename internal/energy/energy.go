@@ -1,0 +1,72 @@
+// Package energy estimates the draining-time energy cost and the back-up
+// power-source volume of an EPD system (paper §V-G, Tables II and III).
+//
+// The model follows the paper: draining energy is the sum of processor
+// energy (power × draining time; the paper uses McPAT, we use a calibrated
+// constant draining-mode power), NVM write energy and NVM read energy.
+// Secure-operation energy is negligible and excluded, as in the paper.
+// Battery volume divides total energy by the volumetric energy density of
+// the storage technology.
+package energy
+
+import "repro/internal/sim"
+
+// Params holds the energy-model constants.
+type Params struct {
+	// ProcessorPowerWatts is the processor package power while executing
+	// the draining firmware. The paper's McPAT-derived numbers imply
+	// roughly 100 W for the simulated core and uncore (Table II energy /
+	// Fig. 11 draining time); it is exposed for calibration.
+	ProcessorPowerWatts float64
+	// NVMWriteJoules is the energy of one NVM write (531.8 nJ, §V-G).
+	NVMWriteJoules float64
+	// NVMReadJoules is the energy of one NVM read (5.5 nJ, §V-G).
+	NVMReadJoules float64
+}
+
+// DefaultParams returns the paper's constants.
+func DefaultParams() Params {
+	return Params{
+		ProcessorPowerWatts: 100,
+		NVMWriteJoules:      531.8e-9,
+		NVMReadJoules:       5.5e-9,
+	}
+}
+
+// Breakdown is one row of Table II.
+type Breakdown struct {
+	ProcessorJ float64
+	NVMWriteJ  float64
+	NVMReadJ   float64
+}
+
+// Total returns the summed draining energy.
+func (b Breakdown) Total() float64 { return b.ProcessorJ + b.NVMWriteJ + b.NVMReadJ }
+
+// Estimate computes the draining energy for an episode.
+func Estimate(p Params, drainTime sim.Time, writes, reads int64) Breakdown {
+	return Breakdown{
+		ProcessorJ: p.ProcessorPowerWatts * drainTime.Seconds(),
+		NVMWriteJ:  p.NVMWriteJoules * float64(writes),
+		NVMReadJ:   p.NVMReadJoules * float64(reads),
+	}
+}
+
+// Tech is a back-up energy-storage technology.
+type Tech struct {
+	Name string
+	// DensityWhPerCm3 is the volumetric energy density in Wh/cm^3.
+	DensityWhPerCm3 float64
+}
+
+// The two technologies the paper sizes (§V-G, following BBB).
+var (
+	SuperCap = Tech{Name: "SuperCap", DensityWhPerCm3: 1e-4}
+	LiThin   = Tech{Name: "Li-thin", DensityWhPerCm3: 1e-2}
+)
+
+// Volume returns the storage volume in cm^3 needed to hold energyJ joules.
+func Volume(energyJ float64, t Tech) float64 {
+	const joulesPerWh = 3600
+	return energyJ / joulesPerWh / t.DensityWhPerCm3
+}

@@ -1,0 +1,57 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEstimateComposition(t *testing.T) {
+	p := Params{ProcessorPowerWatts: 100, NVMWriteJoules: 500e-9, NVMReadJoules: 5e-9}
+	b := Estimate(p, 100*sim.Millisecond, 1_000_000, 2_000_000)
+	if !approx(b.ProcessorJ, 10, 1e-9) {
+		t.Errorf("processor J = %v, want 10", b.ProcessorJ)
+	}
+	if !approx(b.NVMWriteJ, 0.5, 1e-9) {
+		t.Errorf("write J = %v, want 0.5", b.NVMWriteJ)
+	}
+	if !approx(b.NVMReadJ, 0.01, 1e-9) {
+		t.Errorf("read J = %v, want 0.01", b.NVMReadJ)
+	}
+	if !approx(b.Total(), 10.51, 1e-9) {
+		t.Errorf("total = %v, want 10.51", b.Total())
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.NVMWriteJoules != 531.8e-9 || p.NVMReadJoules != 5.5e-9 {
+		t.Error("NVM energies must match the paper (§V-G)")
+	}
+}
+
+// Table III sanity: the paper's Base-LU total of 11.07 J must size to
+// ~30.7 cm^3 of SuperCap and ~0.31 cm^3 of Li-thin.
+func TestVolumeReproducesTableIII(t *testing.T) {
+	if v := Volume(11.07, SuperCap); !approx(v, 30.75, 0.1) {
+		t.Errorf("SuperCap volume for 11.07J = %.2f, want ~30.7 (Table III)", v)
+	}
+	if v := Volume(11.07, LiThin); !approx(v, 0.3075, 0.001) {
+		t.Errorf("Li-thin volume for 11.07J = %.3f, want ~0.31 (Table III)", v)
+	}
+	if v := Volume(2.45, SuperCap); !approx(v, 6.8, 0.1) {
+		t.Errorf("SuperCap volume for 2.45J = %.2f, want ~6.8 (Table III)", v)
+	}
+}
+
+func TestVolumeScalesLinearly(t *testing.T) {
+	if Volume(2, SuperCap) != 2*Volume(1, SuperCap) {
+		t.Error("volume must scale linearly with energy")
+	}
+	if Volume(1, LiThin) >= Volume(1, SuperCap) {
+		t.Error("denser technology must need less volume")
+	}
+}

@@ -1,0 +1,212 @@
+package mem
+
+import (
+	"repro/internal/sim"
+)
+
+// Category labels a memory access for the breakdowns in the paper's figures
+// (Fig. 6 memory-request breakdown, Fig. 12 memory-write breakdown).
+type Category string
+
+// Access categories used across the simulator. Packages may define more;
+// these are the ones the paper's figures report.
+const (
+	CatData      Category = "data"       // in-place data block (baselines, non-secure)
+	CatCounter   Category = "counter"    // encryption counter block
+	CatTree      Category = "tree"       // integrity (Bonsai Merkle) tree node
+	CatMAC       Category = "mac"        // data MAC block
+	CatCHVData   Category = "chv-data"   // drained cache block in the CHV
+	CatCHVAddr   Category = "chv-addr"   // coalesced address block in the CHV
+	CatCHVMAC    Category = "chv-mac"    // coalesced MAC block in the CHV
+	CatMetaFlush Category = "meta-flush" // end-of-drain security-metadata-cache flush
+	CatRecovery  Category = "recovery"   // recovery-time read-back
+)
+
+// Config holds the timing and organisation parameters of the NVM.
+type Config struct {
+	Banks        int      // independent banks (interleaved by block address)
+	ReadLatency  sim.Time // bank occupancy of a read
+	WriteLatency sim.Time // bank occupancy of a write
+	BusSlot      sim.Time // command/data-bus occupancy per access
+}
+
+// DefaultConfig matches Table I of the paper (DDR-based PCM) with a
+// 16-bank organisation.
+func DefaultConfig() Config {
+	return Config{
+		Banks:        16,
+		ReadLatency:  150 * sim.Nanosecond,
+		WriteLatency: 500 * sim.Nanosecond,
+		BusSlot:      5 * sim.Nanosecond,
+	}
+}
+
+// Observer receives every timed access; used by the trace package.
+// kind is "read" or "write"; done is the access completion time.
+type Observer interface {
+	OnAccess(kind string, done sim.Time, addr uint64, category string)
+}
+
+// Controller couples the functional store with the banked timing model and
+// per-category access accounting.
+type Controller struct {
+	cfg   Config
+	store *Store
+	banks []*sim.Resource
+	bus   *sim.Resource
+
+	reads  *sim.CounterSet
+	writes *sim.CounterSet
+
+	// wear counts lifetime writes per block for endurance analysis; unlike
+	// the traffic counters it is never reset (cell wear is permanent).
+	wear map[uint64]int64
+
+	obs Observer // optional access tracer
+}
+
+// SetObserver installs (or clears, with nil) an access observer.
+func (c *Controller) SetObserver(o Observer) { c.obs = o }
+
+// NewController returns a controller over a fresh store.
+func NewController(cfg Config) *Controller {
+	if cfg.Banks <= 0 {
+		panic("mem: bank count must be positive")
+	}
+	c := &Controller{
+		cfg:    cfg,
+		store:  NewStore(),
+		bus:    sim.NewResource("membus"),
+		reads:  sim.NewCounterSet(),
+		writes: sim.NewCounterSet(),
+		wear:   make(map[uint64]int64),
+	}
+	for i := 0; i < cfg.Banks; i++ {
+		c.banks = append(c.banks, sim.NewResource("bank"))
+	}
+	return c
+}
+
+// Store exposes the functional backing store (for tests and recovery).
+func (c *Controller) Store() *Store { return c.store }
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// bankOf interleaves blocks across banks, folding higher address bits so
+// that large power-of-two strides still spread across banks (the paper's
+// worst-case fill uses a 16 KB stride).
+func (c *Controller) bankOf(addr uint64) int {
+	bn := addr / BlockSize
+	h := bn ^ (bn >> 4) ^ (bn >> 9) ^ (bn >> 15) ^ (bn >> 22)
+	return int(h % uint64(len(c.banks)))
+}
+
+// Read performs a timed, counted read of the block at addr. The access
+// begins no earlier than ready; the returned time is when data is available.
+func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim.Time) {
+	c.reads.Add(string(cat), 1)
+	_, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
+	_, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.ReadLatency)
+	if c.obs != nil {
+		c.obs.OnAccess("read", done, addr, string(cat))
+	}
+	return c.store.ReadBlock(addr), done
+}
+
+// Write performs a timed, counted write of b to addr. The returned time is
+// when the write is durable in the NVM.
+func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) sim.Time {
+	c.writes.Add(string(cat), 1)
+	c.wear[addr]++
+	_, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
+	_, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.WriteLatency)
+	if c.obs != nil {
+		c.obs.OnAccess("write", done, addr, string(cat))
+	}
+	c.store.WriteBlock(addr, b)
+	return done
+}
+
+// WearStats summarises per-cell write endurance exposure.
+type WearStats struct {
+	// MaxWrites is the lifetime write count of the most-written block.
+	MaxWrites int64
+	// HotAddr is that block's address.
+	HotAddr uint64
+	// TotalWrites is the lifetime write count across all blocks.
+	TotalWrites int64
+	// UniqueBlocks is how many distinct blocks have ever been written.
+	UniqueBlocks int
+}
+
+// WearStats computes endurance exposure over the memory's lifetime (wear
+// is never reset by ResetStats — cell wear is permanent).
+func (c *Controller) WearStats() WearStats {
+	var ws WearStats
+	for addr, n := range c.wear {
+		ws.TotalWrites += n
+		if n > ws.MaxWrites {
+			ws.MaxWrites, ws.HotAddr = n, addr
+		}
+	}
+	ws.UniqueBlocks = len(c.wear)
+	return ws
+}
+
+// WearOf returns the lifetime write count of one block.
+func (c *Controller) WearOf(addr uint64) int64 { return c.wear[addr] }
+
+// WearInRange returns the maximum and total lifetime writes within
+// [lo, hi), e.g. over the CHV region.
+func (c *Controller) WearInRange(lo, hi uint64) (max, total int64) {
+	for addr, n := range c.wear {
+		if addr >= lo && addr < hi {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+	}
+	return max, total
+}
+
+// PeekRead reads functionally without timing or counting. Recovery-time
+// integrity checks and tests use it to inspect memory.
+func (c *Controller) PeekRead(addr uint64) Block { return c.store.ReadBlock(addr) }
+
+// Reads returns the per-category read counters.
+func (c *Controller) Reads() *sim.CounterSet { return c.reads }
+
+// Writes returns the per-category write counters.
+func (c *Controller) Writes() *sim.CounterSet { return c.writes }
+
+// TotalReads returns the total number of read accesses.
+func (c *Controller) TotalReads() int64 { return c.reads.Total() }
+
+// TotalWrites returns the total number of write accesses.
+func (c *Controller) TotalWrites() int64 { return c.writes.Total() }
+
+// TotalAccesses returns reads plus writes.
+func (c *Controller) TotalAccesses() int64 { return c.TotalReads() + c.TotalWrites() }
+
+// LastDone returns the latest completion time across all banks, i.e. when
+// the memory system has fully drained its accepted requests.
+func (c *Controller) LastDone() sim.Time {
+	var t sim.Time
+	for _, b := range c.banks {
+		t = sim.MaxTime(t, b.FreeAt())
+	}
+	return sim.MaxTime(t, c.bus.FreeAt())
+}
+
+// ResetStats clears timing state and counters but preserves memory content.
+// It separates the run-time warm-up phase from the measured draining phase.
+func (c *Controller) ResetStats() {
+	for _, b := range c.banks {
+		b.Reset()
+	}
+	c.bus.Reset()
+	c.reads = sim.NewCounterSet()
+	c.writes = sim.NewCounterSet()
+}

@@ -1,0 +1,217 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestStoreZeroDefault(t *testing.T) {
+	s := NewStore()
+	b := s.ReadBlock(0x1000)
+	if !b.IsZero() {
+		t.Error("unwritten block should read as zero")
+	}
+	if s.Populated() != 0 {
+		t.Error("read must not populate the store")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	var b Block
+	for i := range b {
+		b[i] = byte(i * 3)
+	}
+	s.WriteBlock(0x40, b)
+	if got := s.ReadBlock(0x40); got != b {
+		t.Error("round trip mismatch")
+	}
+	if s.Populated() != 1 {
+		t.Errorf("Populated = %d, want 1", s.Populated())
+	}
+}
+
+func TestStoreUnalignedPanics(t *testing.T) {
+	s := NewStore()
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned access did not panic")
+		}
+	}()
+	s.ReadBlock(0x41)
+}
+
+func TestStoreSnapshotIndependence(t *testing.T) {
+	s := NewStore()
+	s.WriteBlock(0, Block{1})
+	snap := s.Snapshot()
+	s.WriteBlock(0, Block{2})
+	if snap.ReadBlock(0)[0] != 1 {
+		t.Error("snapshot was mutated by a later write")
+	}
+}
+
+func TestStoreCorruptByte(t *testing.T) {
+	s := NewStore()
+	s.WriteBlock(0, Block{0: 0xF0})
+	old := s.CorruptByte(0, 0, 0x01)
+	if old[0] != 0xF0 {
+		t.Errorf("CorruptByte returned %#x, want old value 0xF0", old[0])
+	}
+	if got := s.ReadBlock(0)[0]; got != 0xF1 {
+		t.Errorf("corrupted byte = %#x, want 0xF1", got)
+	}
+}
+
+func TestBlockIsZero(t *testing.T) {
+	var b Block
+	if !b.IsZero() {
+		t.Error("zero block not recognised")
+	}
+	b[63] = 1
+	if b.IsZero() {
+		t.Error("nonzero block reported zero")
+	}
+}
+
+func TestControllerFunctionalRoundTrip(t *testing.T) {
+	c := NewController(DefaultConfig())
+	var b Block
+	b[0] = 0xAB
+	done := c.Write(0, 0x1000, b, CatData)
+	if done <= 0 {
+		t.Fatal("write completion time must be positive")
+	}
+	got, _ := c.Read(done, 0x1000, CatData)
+	if got != b {
+		t.Error("controller read returned wrong data")
+	}
+}
+
+func TestControllerTiming(t *testing.T) {
+	cfg := Config{Banks: 1, ReadLatency: 150 * sim.Nanosecond, WriteLatency: 500 * sim.Nanosecond, BusSlot: 5 * sim.Nanosecond}
+	c := NewController(cfg)
+	// Single bank: two writes serialise on the bank.
+	d1 := c.Write(0, 0, Block{}, CatData)
+	if d1 != 505*sim.Nanosecond {
+		t.Fatalf("first write done = %v, want 505ns", d1)
+	}
+	d2 := c.Write(0, 64, Block{}, CatData)
+	if d2 != 1005*sim.Nanosecond {
+		t.Fatalf("second write done = %v, want 1005ns (bank conflict)", d2)
+	}
+}
+
+func TestControllerBankParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewController(cfg)
+	// Issue as many writes as banks to distinct banks: they should overlap,
+	// so total drain time is far below the serialised sum.
+	n := cfg.Banks
+	seen := make(map[int]bool)
+	addr := uint64(0)
+	issued := 0
+	for issued < n && addr < 1<<30 {
+		bk := c.bankOf(addr)
+		if !seen[bk] {
+			seen[bk] = true
+			c.Write(0, addr, Block{}, CatData)
+			issued++
+		}
+		addr += BlockSize
+	}
+	if issued != n {
+		t.Fatalf("could not find %d distinct banks", n)
+	}
+	serialised := sim.Time(n) * cfg.WriteLatency
+	if c.LastDone() >= serialised {
+		t.Errorf("LastDone = %v, want < serialised %v (banks must overlap)", c.LastDone(), serialised)
+	}
+}
+
+func TestControllerStridedAccessesSpreadAcrossBanks(t *testing.T) {
+	// The paper's worst-case fill uses a 16 KB stride; the bank hash must
+	// still spread such accesses over many banks.
+	c := NewController(DefaultConfig())
+	banks := make(map[int]int)
+	const stride = 16 * 1024
+	for i := 0; i < 1024; i++ {
+		banks[c.bankOf(uint64(i)*stride)]++
+	}
+	if len(banks) < c.cfg.Banks/2 {
+		t.Errorf("16KB-strided accesses hit only %d/%d banks", len(banks), c.cfg.Banks)
+	}
+}
+
+func TestControllerCounting(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.Write(0, 0, Block{}, CatData)
+	c.Write(0, 64, Block{}, CatCounter)
+	c.Write(0, 128, Block{}, CatData)
+	c.Read(0, 0, CatTree)
+	if c.Writes().Get(string(CatData)) != 2 {
+		t.Errorf("data writes = %d, want 2", c.Writes().Get(string(CatData)))
+	}
+	if c.Writes().Get(string(CatCounter)) != 1 {
+		t.Error("counter writes wrong")
+	}
+	if c.TotalReads() != 1 || c.TotalWrites() != 3 || c.TotalAccesses() != 4 {
+		t.Error("totals wrong")
+	}
+}
+
+func TestControllerResetStatsPreservesContent(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.Write(0, 0, Block{0: 7}, CatData)
+	c.ResetStats()
+	if c.TotalAccesses() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+	if c.LastDone() != 0 {
+		t.Error("ResetStats did not clear timing")
+	}
+	if c.PeekRead(0)[0] != 7 {
+		t.Error("ResetStats lost memory content")
+	}
+}
+
+func TestControllerZeroBanksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero banks did not panic")
+		}
+	}()
+	NewController(Config{Banks: 0})
+}
+
+// Property: any sequence of writes followed by reads at the same addresses
+// returns the last written values (functional memory consistency).
+func TestControllerWriteReadProperty(t *testing.T) {
+	f := func(addrs []uint16, vals []byte) bool {
+		c := NewController(Config{Banks: 4, ReadLatency: 1, WriteLatency: 1, BusSlot: 1})
+		want := make(map[uint64]byte)
+		n := len(addrs)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		var now sim.Time
+		for i := 0; i < n; i++ {
+			a := uint64(addrs[i]) * BlockSize
+			now = c.Write(now, a, Block{0: vals[i]}, CatData)
+			want[a] = vals[i]
+		}
+		for a, v := range want {
+			got, done := c.Read(now, a, CatData)
+			now = done
+			if got[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

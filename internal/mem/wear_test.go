@@ -1,0 +1,66 @@
+package mem
+
+import "testing"
+
+func TestWearAccounting(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.Write(0, 0, Block{}, CatData)
+	c.Write(0, 0, Block{}, CatData)
+	c.Write(0, 64, Block{}, CatData)
+	if c.WearOf(0) != 2 || c.WearOf(64) != 1 || c.WearOf(128) != 0 {
+		t.Errorf("per-block wear wrong: %d %d %d", c.WearOf(0), c.WearOf(64), c.WearOf(128))
+	}
+	ws := c.WearStats()
+	if ws.MaxWrites != 2 || ws.HotAddr != 0 || ws.TotalWrites != 3 || ws.UniqueBlocks != 2 {
+		t.Errorf("WearStats = %+v", ws)
+	}
+}
+
+func TestWearSurvivesResetStats(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.Write(0, 0, Block{}, CatData)
+	c.ResetStats()
+	if c.WearOf(0) != 1 {
+		t.Error("ResetStats cleared wear (cell wear is permanent)")
+	}
+}
+
+func TestWearInRange(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.Write(0, 0, Block{}, CatData)
+	c.Write(0, 64, Block{}, CatData)
+	c.Write(0, 64, Block{}, CatData)
+	c.Write(0, 4096, Block{}, CatData)
+	max, total := c.WearInRange(0, 128)
+	if max != 2 || total != 3 {
+		t.Errorf("WearInRange(0,128) = (%d,%d), want (2,3)", max, total)
+	}
+	max, total = c.WearInRange(4096, 8192)
+	if max != 1 || total != 1 {
+		t.Errorf("WearInRange(4096,8192) = (%d,%d), want (1,1)", max, total)
+	}
+}
+
+func TestReadsDoNotWear(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.Write(0, 0, Block{}, CatData)
+	c.Read(0, 0, CatData)
+	c.Read(0, 0, CatData)
+	if c.WearOf(0) != 1 {
+		t.Error("reads must not count as wear")
+	}
+}
+
+func TestAddressesInRange(t *testing.T) {
+	s := NewStore()
+	s.WriteBlock(128, Block{1})
+	s.WriteBlock(0, Block{1})
+	s.WriteBlock(4096, Block{1})
+	got := s.AddressesInRange(0, 4096)
+	if len(got) != 2 || got[0] != 0 || got[1] != 128 {
+		t.Errorf("AddressesInRange = %v", got)
+	}
+	if len(s.AddressesInRange(8192, 1<<20)) != 0 {
+		t.Error("empty range not empty")
+	}
+}

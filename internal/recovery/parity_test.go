@@ -1,0 +1,126 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/bmt"
+	"repro/internal/cme"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/mem"
+	"repro/internal/secmem"
+	"repro/internal/sim"
+)
+
+// paritySystem builds a Base-LU system with Soteria-style vault parity.
+func paritySystem(t *testing.T) (*core.System, *hierarchy.Hierarchy) {
+	t.Helper()
+	hcfg := testHierarchyConfig()
+	h := hierarchy.New(hcfg)
+	lay := bmt.NewLayout(bmt.Config{
+		DataSize:    256 << 20,
+		CHVCapacity: uint64(hcfg.TotalLines()) + 64,
+		VaultBlocks: 80000,
+	})
+	nvm := mem.NewController(mem.DefaultConfig())
+	enc := cme.NewEngine(7)
+	scfg := secmem.DefaultConfig()
+	scfg.Scheme = secmem.LazyUpdate
+	scfg.CounterCacheBytes = 8 << 10
+	scfg.MACCacheBytes = 16 << 10
+	scfg.TreeCacheBytes = 8 << 10
+	scfg.VaultParity = true
+	sec := secmem.New(scfg, lay, enc, nvm)
+	return &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec}, h
+}
+
+func drainParity(t *testing.T, sys *core.System, h *hierarchy.Hierarchy) (map[uint64]mem.Block, core.PersistentState) {
+	t.Helper()
+	h.FillAllDirty(hierarchy.FillOptions{
+		Pattern:  hierarchy.PatternWorstCaseSparse,
+		DataSize: 256 << 20,
+		Seed:     60,
+	})
+	golden := h.Golden()
+	d := core.NewDrainer(core.BaseLU, sys, 0)
+	res, err := d.Drain(h.DirtyBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Clear()
+	sys.Sec.Crash()
+	if !res.Persist.Vault.Parity {
+		t.Fatal("vault record does not carry parity")
+	}
+	return golden, res.Persist
+}
+
+func TestVaultParityRepairsSingleCorruption(t *testing.T) {
+	sys, h := paritySystem(t)
+	golden, ps := drainParity(t, sys, h)
+
+	// Corrupt ONE payload block in the vault while power is out.
+	sys.NVM.Store().CorruptByte(sys.Layout.VaultAddr(5), 9, 0x10)
+
+	res, err := RecoverBaseline(sys, ps)
+	if err != nil {
+		t.Fatalf("parity-backed recovery failed: %v", err)
+	}
+	if res.LinesRestored != ps.Vault.Count {
+		t.Error("line count wrong after repair")
+	}
+	// Spot-check data integrity through the secure read path.
+	var now sim.Time
+	count := 0
+	for addr, want := range golden {
+		got, done, err := sys.Sec.ReadBlock(now, addr)
+		if err != nil {
+			t.Fatalf("post-repair read %#x: %v", addr, err)
+		}
+		now = done
+		if got != want {
+			t.Fatalf("post-repair mismatch at %#x", addr)
+		}
+		if count++; count >= 300 {
+			break
+		}
+	}
+}
+
+func TestVaultParityRefusesDoubleCorruptionInGroup(t *testing.T) {
+	sys, h := paritySystem(t)
+	_, ps := drainParity(t, sys, h)
+	// Two corrupted payload blocks in the same 8-block group.
+	sys.NVM.Store().CorruptByte(sys.Layout.VaultAddr(0), 0, 0x01)
+	sys.NVM.Store().CorruptByte(sys.Layout.VaultAddr(1), 0, 0x01)
+	var re *Error
+	if _, err := RecoverBaseline(sys, ps); !errors.As(err, &re) {
+		t.Fatalf("double corruption recovered: %v", err)
+	}
+}
+
+func TestVaultParityRepairsAcrossDifferentGroups(t *testing.T) {
+	sys, h := paritySystem(t)
+	_, ps := drainParity(t, sys, h)
+	// One corruption in each of two different groups: both repairable.
+	sys.NVM.Store().CorruptByte(sys.Layout.VaultAddr(2), 0, 0x04)
+	sys.NVM.Store().CorruptByte(sys.Layout.VaultAddr(10), 3, 0x40)
+	if _, err := RecoverBaseline(sys, ps); err != nil {
+		t.Fatalf("cross-group repairs failed: %v", err)
+	}
+}
+
+func TestVaultWithoutParityStillRefuses(t *testing.T) {
+	// The non-parity configuration must keep the strict behaviour.
+	sys, h := buildSystem(t, core.BaseLU)
+	_, ps := drainAndCrash(t, sys, h, core.BaseLU, 61)
+	if ps.Vault.Parity {
+		t.Fatal("parity unexpectedly enabled")
+	}
+	sys.NVM.Store().CorruptByte(sys.Layout.VaultAddr(0), 0, 0x01)
+	var re *Error
+	if _, err := RecoverBaseline(sys, ps); !errors.As(err, &re) {
+		t.Fatalf("corruption recovered without parity: %v", err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package recovery implements power-restore recovery (§IV-C3).
+//
+// For Horus, the CHV contents are read back in reverse flush order; each
+// drained block's drain-counter value is derived from its CHV position and
+// the persistent drain-counter register, its MAC is verified against the
+// stored (coalesced) MAC blocks, and the plaintext is re-installed in the
+// cache hierarchy in dirty state. Tampering, splicing or replaying CHV
+// content is detected as a MAC mismatch and reported with a typed error.
+//
+// For the baselines, the metadata-cache vault is read back, verified
+// against the persistent vault-root register, and re-installed into the
+// secure memory controller, after which in-place memory verifies normally.
+//
+// Timing: recovery is modelled as a single dependent read-verify-decrypt
+// stream (each step threads the completion time of the previous one), the
+// conservative model behind the paper's Fig. 16 estimate.
+package recovery
+
+import (
+	"fmt"
+
+	"repro/internal/cme"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/mem"
+	"repro/internal/secmem"
+	"repro/internal/sim"
+)
+
+// MAC-calculation category charged for recovery-time verification.
+const MACRecoveryVerify = "recovery-verify"
+
+// Error reports a failed CHV or vault verification during recovery.
+type Error struct {
+	Slot   uint64 // CHV slot (drain index) where verification failed
+	Addr   uint64 // original address recorded for the slot, if known
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("recovery: verification failed at CHV slot %d (addr %#x): %s",
+		e.Slot, e.Addr, e.Detail)
+}
+
+// HorusResult reports a Horus recovery episode.
+type HorusResult struct {
+	// RecoveryTime is the simulated time to read back, verify and decrypt
+	// the whole CHV (Fig. 16).
+	RecoveryTime sim.Time
+	// Blocks are the recovered dirty blocks in original flush order.
+	Blocks []hierarchy.DirtyBlock
+	// MemReads counts read-back accesses by category.
+	MemReads *sim.CounterSet
+	// MACCalcs counts verification MAC computations.
+	MACCalcs int64
+	// Persist is the post-recovery register state (EDC cleared, §IV-C1).
+	Persist core.PersistentState
+}
+
+// Options tunes the Horus recovery path.
+type Options struct {
+	// BankParallel issues each 8-block group's read-verify-decrypt chain
+	// independently, letting the banked NVM overlap groups. The default
+	// (false) is the paper's conservative single-stream estimate
+	// (Fig. 16); parallel recovery is an extension that shows how much
+	// headroom the banked memory leaves.
+	BankParallel bool
+}
+
+// RecoverHorus reads the CHV back and returns the recovered blocks, using
+// the paper's conservative serial read-back model. ps must be the
+// persistent state captured by the drain.
+func RecoverHorus(sys *core.System, ps core.PersistentState) (HorusResult, error) {
+	return RecoverHorusOpts(sys, ps, Options{})
+}
+
+// RecoverHorusOpts is RecoverHorus with explicit options.
+func RecoverHorusOpts(sys *core.System, ps core.PersistentState, opt Options) (HorusResult, error) {
+	if !ps.Scheme.UsesCHV() {
+		return HorusResult{}, fmt.Errorf("recovery: persistent state is from %v, not a Horus scheme", ps.Scheme)
+	}
+	sys.NVM.ResetStats()
+	sys.Sec.ResetStats()
+	lay := sys.Layout
+	n := ps.EDC
+	firstDC := ps.DC - n
+	dlm := ps.Scheme == core.HorusDLM
+
+	blocks := make([]hierarchy.DirtyBlock, n)
+	var now sim.Time
+	var macs int64
+
+	// Group size: 8 data blocks share one address block; MAC blocks hold 8
+	// first-level MACs (SLM) or 8 second-level MACs covering 64 data
+	// blocks (DLM). Read back groups in reverse flush order (§IV-C3).
+	// A one-block register holds the most recently read MAC block so the
+	// DLM scheme reads each (64-block-coverage) MAC block only once.
+	var macRegAddr uint64
+	var macRegValid bool
+	var macReg mem.Block
+	var lastDone sim.Time
+	groups := (n + 7) / 8
+	for g := int64(groups) - 1; g >= 0; g-- {
+		base := uint64(g) * 8
+		end := base + 8
+		if end > n {
+			end = n
+		}
+		if opt.BankParallel {
+			// Each group's chain starts at t=0; the banked NVM and the
+			// crypto engines arbitrate overlap.
+			lastDone = sim.MaxTime(lastDone, now)
+			now = 0
+		}
+
+		// Address block for the group.
+		addrBlkAddr, _ := lay.CHVAddrBlockAddrR(ps.CHVRegion, base)
+		addrBlk, t := sys.NVM.Read(now, addrBlkAddr, mem.CatRecovery)
+		now = t
+		addrs := core.UnpackAddrs(addrBlk)
+
+		// Stored MACs for the group.
+		var storedL1 [8]cme.MAC
+		var storedL2 cme.MAC
+		if dlm {
+			mAddr, slot := lay.CHVMACBlockAddrDLMR(ps.CHVRegion, base)
+			if !macRegValid || macRegAddr != mAddr {
+				mBlk, t := sys.NVM.Read(now, mAddr, mem.CatRecovery)
+				now = t
+				macReg, macRegAddr, macRegValid = mBlk, mAddr, true
+			}
+			storedL2 = cme.UnpackMACs(macReg)[slot]
+		} else {
+			mAddr, _ := lay.CHVMACBlockAddrR(ps.CHVRegion, base)
+			mBlk, t := sys.NVM.Read(now, mAddr, mem.CatRecovery)
+			now = t
+			storedL1 = cme.UnpackMACs(mBlk)
+		}
+
+		// Data blocks: read, recompute MACs, decrypt.
+		var computed []cme.MAC
+		for i := base; i < end; i++ {
+			ct, t := sys.NVM.Read(now, lay.CHVDataAddrR(ps.CHVRegion, i), mem.CatRecovery)
+			now = t
+			addr := addrs[i%8]
+			ctr := firstDC + i
+			now = sys.Sec.IssueMAC(now, MACRecoveryVerify)
+			macs++
+			m := sys.Enc.DataMAC(addr|core.DrainPadDomain, ctr, ct)
+			computed = append(computed, m)
+			if !dlm && m != storedL1[i%8] {
+				return HorusResult{}, &Error{Slot: i, Addr: addr,
+					Detail: "data MAC mismatch (tampered, spliced or replayed CHV content)"}
+			}
+			now = sys.Sec.IssueAES(now)
+			plain := sys.Enc.Decrypt(addr|core.DrainPadDomain, ctr, ct)
+			blocks[i] = hierarchy.DirtyBlock{Addr: addr, Data: plain}
+		}
+		if dlm {
+			now = sys.Sec.IssueMAC(now, MACRecoveryVerify)
+			macs++
+			if sys.Enc.MACOverMACs(core.DrainPadDomain|uint64(g), computed) != storedL2 {
+				return HorusResult{}, &Error{Slot: base, Addr: addrs[0],
+					Detail: "second-level MAC mismatch (tampered, spliced or replayed CHV group)"}
+			}
+		}
+	}
+
+	ps.EDC = 0 // cleared after each recovery (§IV-C1)
+	return HorusResult{
+		RecoveryTime: sim.MaxTime(now, lastDone),
+		Blocks:       blocks,
+		MemReads:     sys.NVM.Reads().Clone(),
+		MACCalcs:     macs,
+		Persist:      ps,
+	}, nil
+}
+
+// RefillHierarchy installs recovered blocks into a hierarchy as dirty lines
+// (the paper's option of reading them back into the LLC in dirty state).
+func RefillHierarchy(h *hierarchy.Hierarchy, blocks []hierarchy.DirtyBlock) {
+	for _, b := range blocks {
+		h.Write(b.Addr, b.Data)
+	}
+}
+
+// BaselineResult reports a baseline (vault) recovery episode.
+type BaselineResult struct {
+	RecoveryTime sim.Time
+	// LinesRestored is the number of metadata-cache lines re-installed.
+	LinesRestored int
+	MemReads      *sim.CounterSet
+	MACCalcs      int64
+}
+
+// RecoverBaseline restores the metadata-cache contents from the vault
+// written by a lazy-scheme drain, verifying them against the persistent
+// vault root, and re-installs them into the secure controller. Eager-scheme
+// drains flush metadata in place, so their vault is empty and nothing needs
+// re-installing — memory already verifies against the root register.
+func RecoverBaseline(sys *core.System, ps core.PersistentState) (BaselineResult, error) {
+	if ps.Scheme.UsesCHV() || !ps.Scheme.Secure() {
+		return BaselineResult{}, fmt.Errorf("recovery: persistent state is from %v, not a baseline scheme", ps.Scheme)
+	}
+	sys.NVM.ResetStats()
+	sys.Sec.ResetStats()
+	return RestoreMetadataVault(sys, ps.Vault)
+}
+
+// RestoreMetadataVault reads back, verifies and re-installs the
+// metadata-cache vault. Horus drains also leave a vault (the run-time
+// metadata residue flushed at the end of the drain), so Horus recovery
+// uses this too, before reading the CHV.
+func RestoreMetadataVault(sys *core.System, vault secmem.VaultRecord) (BaselineResult, error) {
+	lay := sys.Layout
+	count := vault.Count
+	if count == 0 {
+		return BaselineResult{}, nil
+	}
+	addrBlocks := (count + 7) / 8
+	total := count + addrBlocks
+
+	var now sim.Time
+	var macs int64
+	vaultContent := make([]mem.Block, total)
+	for i := 0; i < total; i++ {
+		b, t := sys.NVM.Read(now, lay.VaultAddr(uint64(i)), mem.CatRecovery)
+		now = t
+		vaultContent[i] = b
+	}
+	root := secmem.ComputeVaultRoot(sys.Enc, vaultContent, func() {
+		macs++
+		now = sys.Sec.IssueMAC(now, MACRecoveryVerify)
+	})
+	if root != vault.Root {
+		if !vault.Parity {
+			return BaselineResult{}, &Error{Detail: "metadata-cache vault root mismatch"}
+		}
+		// Soteria-style repair: locate corrupted payload blocks via the
+		// stored leaf MACs and reconstruct them from the group parity.
+		repaired, t, rMACs, err := repairVault(sys, vault, vaultContent, now)
+		now = t
+		macs += rMACs
+		if err != nil {
+			return BaselineResult{}, err
+		}
+		vaultContent = repaired
+		root = secmem.ComputeVaultRoot(sys.Enc, vaultContent, func() {
+			macs++
+			now = sys.Sec.IssueMAC(now, MACRecoveryVerify)
+		})
+		if root != vault.Root {
+			return BaselineResult{}, &Error{Detail: "metadata-cache vault unrecoverable after parity repair"}
+		}
+	}
+
+	lines := make([]secmem.VaultLine, count)
+	for i := 0; i < count; i++ {
+		lines[i].Content = vaultContent[i]
+	}
+	for bi := 0; bi < addrBlocks; bi++ {
+		addrs := core.UnpackAddrs(vaultContent[count+bi])
+		for s := 0; s < 8 && bi*8+s < count; s++ {
+			lines[bi*8+s].Addr = addrs[s]
+		}
+	}
+	sys.Sec.ReinstallMetadata(lines)
+
+	return BaselineResult{
+		RecoveryTime:  now,
+		LinesRestored: count,
+		MemReads:      sys.NVM.Reads().Clone(),
+		MACCalcs:      macs,
+	}, nil
+}
+
+// repairVault reconstructs corrupted vault payload blocks using the
+// appended leaf-MAC and XOR-parity blocks (one repairable block per
+// 8-block group).
+func repairVault(sys *core.System, vault secmem.VaultRecord, payload []mem.Block, start sim.Time) ([]mem.Block, sim.Time, int64, error) {
+	lay := sys.Layout
+	now := start
+	var macs int64
+	total := len(payload)
+	groups := (total + 7) / 8
+
+	leafMACs := make([]cme.MAC, 0, total)
+	for g := 0; g < groups; g++ {
+		blk, t := sys.NVM.Read(now, lay.VaultAddr(uint64(total+g)), mem.CatRecovery)
+		now = t
+		unpacked := cme.UnpackMACs(blk)
+		for s := 0; s < 8 && g*8+s < total; s++ {
+			leafMACs = append(leafMACs, unpacked[s])
+		}
+	}
+
+	out := append([]mem.Block(nil), payload...)
+	for g := 0; g < groups; g++ {
+		var bad []int
+		for i := g * 8; i < (g+1)*8 && i < total; i++ {
+			macs++
+			now = sys.Sec.IssueMAC(now, MACRecoveryVerify)
+			if sys.Enc.NodeMAC(1<<20, uint64(i), out[i]) != leafMACs[i] {
+				bad = append(bad, i)
+			}
+		}
+		if len(bad) == 0 {
+			continue
+		}
+		if len(bad) > 1 {
+			return nil, now, macs, &Error{Slot: uint64(bad[0]),
+				Detail: fmt.Sprintf("%d corrupted blocks in one vault parity group; only one is repairable", len(bad))}
+		}
+		parity, t := sys.NVM.Read(now, lay.VaultAddr(uint64(total+groups+g)), mem.CatRecovery)
+		now = t
+		var rebuilt mem.Block
+		rebuilt = parity
+		for i := g * 8; i < (g+1)*8 && i < total; i++ {
+			if i == bad[0] {
+				continue
+			}
+			for k := range rebuilt {
+				rebuilt[k] ^= out[i][k]
+			}
+		}
+		macs++
+		now = sys.Sec.IssueMAC(now, MACRecoveryVerify)
+		if sys.Enc.NodeMAC(1<<20, uint64(bad[0]), rebuilt) != leafMACs[bad[0]] {
+			return nil, now, macs, &Error{Slot: uint64(bad[0]),
+				Detail: "parity reconstruction does not verify (parity or MAC block also corrupted)"}
+		}
+		out[bad[0]] = rebuilt
+	}
+	return out, now, macs, nil
+}

@@ -1,0 +1,141 @@
+// Package report renders the experiment results as aligned text tables and
+// normalized series, matching the shape of the paper's figures and tables
+// so the harness output can be compared against them directly.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+		fmt.Fprintln(w, strings.Repeat("=", len(t.Title)))
+	}
+	all := make([][]string, 0, len(t.Rows)+1)
+	if len(t.Header) > 0 {
+		all = append(all, t.Header)
+	}
+	all = append(all, t.Rows...)
+	widths := columnWidths(all)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(w, formatRow(t.Header, widths))
+		fmt.Fprintln(w, separator(widths))
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, formatRow(r, widths))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func columnWidths(rows [][]string) []int {
+	var widths []int
+	for _, r := range rows {
+		for i, c := range r {
+			for len(widths) <= i {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	return widths
+}
+
+func formatRow(cells []string, widths []int) string {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		if i == 0 {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c) // left-align label column
+		} else {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+	}
+	return strings.TrimRight(strings.Join(parts, "  "), " ")
+}
+
+func separator(widths []int) string {
+	parts := make([]string, len(widths))
+	for i, w := range widths {
+		parts[i] = strings.Repeat("-", w)
+	}
+	return strings.TrimRight(strings.Join(parts, "  "), " ")
+}
+
+// WriteCSV writes the table as CSV (header row first, notes omitted), for
+// piping into plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.Header) > 0 {
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Count formats a count with thousands separators.
+func Count(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Ratio formats a normalized value as "N.NNx".
+func Ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Joules formats an energy value.
+func Joules(v float64) string { return fmt.Sprintf("%.2f J", v) }
+
+// Cm3 formats a volume.
+func Cm3(v float64) string { return fmt.Sprintf("%.2f cm^3", v) }

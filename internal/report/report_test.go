@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "Demo",
+		Header: []string{"scheme", "value"},
+	}
+	tbl.AddRow("Base-LU", "10")
+	tbl.AddRow("Horus-SLM", "1")
+	tbl.AddNote("normalized to %s", "NonSecure")
+	out := tbl.String()
+	for _, want := range []string{"Demo", "scheme", "Base-LU", "Horus-SLM", "note: normalized to NonSecure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Header separator line must be present.
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "---") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing header separator")
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("a", "b")
+	if out := tbl.String(); !strings.Contains(out, "a  b") {
+		t.Errorf("headerless table wrong: %q", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("y", "2")
+	tbl.AddNote("ignored in CSV")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1\ny,2\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := map[int64]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1,000",
+		295936:   "295,936",
+		-1234567: "-1,234,567",
+	}
+	for n, want := range cases {
+		if got := Count(n); got != want {
+			t.Errorf("Count(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(10.345) != "10.35x" {
+		t.Error("Ratio wrong")
+	}
+	if Joules(11.07) != "11.07 J" {
+		t.Error("Joules wrong")
+	}
+	if Cm3(30.7) != "30.70 cm^3" {
+		t.Error("Cm3 wrong")
+	}
+}

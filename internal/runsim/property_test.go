@@ -1,0 +1,86 @@
+package runsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// Property: regardless of persistence domain, cache geometry pressure and
+// spill traffic, the machine behaves like a flat map from address to
+// last-written value.
+func TestMachineLinearizesProperty(t *testing.T) {
+	domains := []PersistDomain{DomainADR, DomainADRWPQ, DomainBBB, DomainEPD}
+	f := func(seed int64, ops []uint16) bool {
+		domain := domains[uint64(seed)%uint64(len(domains))]
+		m, _, _ := newMachine(t, domain, true)
+		rng := rand.New(rand.NewSource(seed))
+		golden := make(map[uint64]mem.Block)
+		for _, op := range ops {
+			addr := (uint64(op) % 512) * 4096 // spans 2MB >> hierarchy
+			switch op % 3 {
+			case 0:
+				var b mem.Block
+				b[0] = byte(rng.Uint32()) | 1
+				if err := m.Write(addr, b); err != nil {
+					return false
+				}
+				golden[addr] = b
+			case 1:
+				got, err := m.Read(addr)
+				if err != nil {
+					return false
+				}
+				want := golden[addr] // zero block if never written
+				if got != want {
+					return false
+				}
+			case 2:
+				if err := m.Persist(addr); err != nil {
+					return false
+				}
+			}
+		}
+		// Final audit.
+		for addr, want := range golden {
+			got, err := m.Read(addr)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any operation sequence, the machine's DirtyBlocks are
+// consistent with Golden (same addresses, same values).
+func TestDirtyBlocksSubsetOfGoldenProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m, _, _ := newMachine(t, DomainEPD, false)
+		for i, op := range ops {
+			addr := (uint64(op) % 256) * 4096
+			if op%2 == 0 {
+				if err := m.Write(addr, mem.Block{0: byte(i + 1)}); err != nil {
+					return false
+				}
+			} else if _, err := m.Read(addr); err != nil {
+				return false
+			}
+		}
+		golden := m.Golden()
+		for _, db := range m.DirtyBlocks() {
+			if golden[db.Addr] != db.Data {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package secmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// TestNoSilentCorruption is the umbrella security property: after arbitrary
+// NVM corruption — any populated block, any byte, any bit — a read of any
+// written address either returns the correct plaintext or fails with an
+// integrity error. It must never silently return wrong data.
+//
+// (Corruption under a dirty-cached copy is invisible until eviction; reads
+// then still return the correct cached value, which satisfies the
+// property.)
+func TestNoSilentCorruption(t *testing.T) {
+	for _, scheme := range []UpdateScheme{LazyUpdate, EagerUpdate} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			for trial := 0; trial < 25; trial++ {
+				c, nvm, _ := testSystem(t, scheme)
+				rng := rand.New(rand.NewSource(int64(1000 + trial)))
+				golden := make(map[uint64]mem.Block)
+				var now sim.Time
+				for i := 0; i < 150; i++ {
+					addr := uint64(rng.Intn(1<<12)) * 4096
+					b := mem.Block{0: byte(i + 1), 7: byte(trial)}
+					done, err := c.WriteBlock(now, addr, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					now = done
+					golden[addr] = b
+				}
+				// Eager: flush in place sometimes, to vary how much state
+				// is persistent when the corruption lands.
+				if scheme == EagerUpdate && trial%2 == 0 {
+					c.FlushMetadataCaches(now)
+				}
+
+				// Corrupt one random populated NVM block.
+				addrs := nvm.Store().AddressesInRange(0, ^uint64(0)>>1)
+				if len(addrs) == 0 {
+					continue
+				}
+				victim := addrs[rng.Intn(len(addrs))]
+				nvm.Store().CorruptByte(victim, rng.Intn(64), byte(1<<rng.Intn(8)))
+
+				for addr, want := range golden {
+					got, done, err := c.ReadBlock(now, addr)
+					now = done
+					if err != nil {
+						continue // detected: acceptable
+					}
+					if got != want {
+						t.Fatalf("trial %d: SILENT CORRUPTION at %#x after corrupting %#x",
+							trial, addr, victim)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The same property across a crash: corrupt NVM while power is out, then
+// recover via the vault and read everything.
+func TestNoSilentCorruptionAcrossCrash(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		c, nvm, _ := testSystem(t, LazyUpdate)
+		rng := rand.New(rand.NewSource(int64(5000 + trial)))
+		golden := make(map[uint64]mem.Block)
+		var now sim.Time
+		for i := 0; i < 120; i++ {
+			addr := uint64(rng.Intn(1<<12)) * 4096
+			b := mem.Block{0: byte(i + 1)}
+			done, err := c.WriteBlock(now, addr, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = done
+			golden[addr] = b
+		}
+		rec, _ := c.FlushMetadataCaches(now)
+		lines := readVaultForTest(c, rec)
+
+		// Power out: corrupt a random populated block.
+		addrs := nvm.Store().AddressesInRange(0, ^uint64(0)>>1)
+		victim := addrs[rng.Intn(len(addrs))]
+		nvm.Store().CorruptByte(victim, rng.Intn(64), byte(1<<rng.Intn(8)))
+
+		c.Crash()
+		// Recovery: the vault itself may be the corrupted region, in which
+		// case reinstallation must be refused upstream; here we model the
+		// reinstall-and-read flow and only require no silent corruption.
+		vaultBlocks := make([]mem.Block, 0, rec.Count+(rec.Count+7)/8)
+		for i := 0; i < rec.Count+(rec.Count+7)/8; i++ {
+			vaultBlocks = append(vaultBlocks, nvm.PeekRead(c.Layout().VaultAddr(uint64(i))))
+		}
+		if ComputeVaultRoot(c.eng, vaultBlocks, func() {}) != rec.Root {
+			continue // vault corruption detected before reinstall: fine
+		}
+		c.ReinstallMetadata(lines)
+
+		for addr, want := range golden {
+			got, done, err := c.ReadBlock(now, addr)
+			now = done
+			if err != nil {
+				continue // detected
+			}
+			if got != want {
+				t.Fatalf("trial %d: SILENT CORRUPTION at %#x after corrupting %#x post-crash",
+					trial, addr, victim)
+			}
+		}
+	}
+}

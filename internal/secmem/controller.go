@@ -1,0 +1,297 @@
+// Package secmem implements the secure memory controller: counter-mode
+// encryption with split counters, per-block data MACs, and a Bonsai Merkle
+// Tree over the counters, with lazy or eager tree-update schemes and the
+// three on-chip security-metadata caches of Table I.
+//
+// The controller is both functional and timed. Functionally it maintains
+// bit-exact ciphertext, counters, MACs and tree nodes over the simulated
+// NVM, so tests can verify round trips and attack detection. Temporally,
+// every metadata fetch, verification walk, tree update, eviction write-back
+// and AES/MAC operation is charged to the shared memory banks and crypto
+// engines, producing the access counts and occupancy that determine the
+// paper's draining time.
+//
+// Invariant maintained by both update schemes: a tree node or counter block
+// *persisted in NVM* always matches the entry its parent holds for it at
+// the same persistence level; any newer value lives in a metadata cache
+// (logically, in the controller's dirty-line table). Verification therefore
+// always checks a fetched node against its nearest cached ancestor, falling
+// back to the on-chip root register.
+package secmem
+
+import (
+	"repro/internal/bmt"
+	"repro/internal/cache"
+	"repro/internal/cme"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// UpdateScheme selects how Merkle-tree updates propagate (§II-C).
+type UpdateScheme int
+
+// Update schemes.
+const (
+	// LazyUpdate defers parent updates until a dirty child is evicted from
+	// the metadata cache. Faster at run time; the in-memory root is stale,
+	// so crash consistency needs the metadata-cache vault (Anubis-style).
+	LazyUpdate UpdateScheme = iota
+	// EagerUpdate propagates every leaf update to the root immediately
+	// (Triad-NVM style). The root register is always current.
+	EagerUpdate
+)
+
+// String names the scheme.
+func (s UpdateScheme) String() string {
+	if s == EagerUpdate {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// MAC-calculation categories (Fig. 13 breakdown).
+const (
+	MACVerify      = "verify"       // verifying fetched counters/tree nodes
+	MACTreeUpdate  = "tree-update"  // recomputing parent entries
+	MACData        = "data-mac"     // protecting written data blocks
+	MACMetaProtect = "meta-protect" // small tree over the metadata-cache vault
+)
+
+// Config holds the controller parameters (Table I defaults via
+// DefaultConfig).
+type Config struct {
+	Scheme UpdateScheme
+
+	CounterCacheBytes int
+	MACCacheBytes     int
+	TreeCacheBytes    int
+	CacheWays         int
+
+	ClockHz    int64 // core clock for cycle-specified latencies
+	AESCycles  int64 // AES latency in cycles (Table I: 40)
+	AESIICycle int64 // AES initiation interval
+	MACCycles  int64 // hash latency in cycles (Table I: 160)
+	MACIICycle int64 // hash initiation interval
+
+	// VaultParity appends per-block leaf MACs and XOR parity to the
+	// metadata-cache vault (Soteria-style resilience): recovery can repair
+	// a single corrupted vault block per 8-block group.
+	VaultParity bool
+
+	// PreferCleanVictims makes the metadata caches evict the LRU clean
+	// line when one exists, trading clean re-fetches for fewer dirty
+	// write-backs (and, under the lazy scheme, fewer eviction cascades).
+	PreferCleanVictims bool
+
+	// OsirisStopLoss, when positive, enables Osiris-style counter
+	// persistence (Ye et al., MICRO'18, cited §II-C): a counter block is
+	// additionally written through to NVM whenever one of its counters
+	// crosses a multiple of the stop-loss limit, bounding how far the
+	// persisted counter can lag the true one. Crash recovery can then
+	// reconstruct counters without a metadata vault (package osiris).
+	OsirisStopLoss int
+}
+
+// DefaultConfig returns the Table I secure-memory parameters.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:            LazyUpdate,
+		CounterCacheBytes: 256 << 10,
+		MACCacheBytes:     512 << 10,
+		TreeCacheBytes:    256 << 10,
+		CacheWays:         8,
+		ClockHz:           4_000_000_000,
+		AESCycles:         40,
+		AESIICycle:        4,
+		MACCycles:         160,
+		MACIICycle:        82,
+	}
+}
+
+// Controller is the secure memory controller.
+type Controller struct {
+	cfg Config
+	lay *bmt.Layout
+	eng *cme.Engine
+	nvm *mem.Controller
+
+	ctrCache  *cache.Cache
+	macCache  *cache.Cache
+	treeCache *cache.Cache
+
+	// dirtyLine holds the logical content of every dirty metadata line;
+	// clean cached lines equal the NVM content.
+	dirtyLine map[uint64]mem.Block
+
+	// evicting marks lines sitting in the write-back buffer: chosen as a
+	// victim, not yet persisted. Their content stays readable (and
+	// updatable) through dirtyLine while the eviction cascade runs.
+	evicting map[uint64]bool
+
+	// root is the on-chip persistent root register: the content of the
+	// single top tree node (eight MACs of the topmost stored level).
+	root mem.Block
+
+	aes *sim.Engine
+	mac *sim.Engine
+
+	macCalcs *sim.CounterSet
+	aesOps   int64
+
+	// levelFetches profiles verification-walk depth: how many NVM fetches
+	// each metadata level needed ("L0" = counter blocks). The shape of
+	// this profile is what blows up the baselines in Fig. 6: sparse
+	// flushes miss at the low levels on almost every access.
+	levelFetches *sim.CounterSet
+
+	// osirisPersists counts stop-loss counter write-throughs.
+	osirisPersists int64
+
+	evictionDepth int
+}
+
+// OsirisPersists returns how many stop-loss counter write-throughs have
+// occurred (zero unless OsirisStopLoss is enabled).
+func (c *Controller) OsirisPersists() int64 { return c.osirisPersists }
+
+// LevelFetches returns the per-level NVM fetch profile of the verification
+// walks ("L0" = counter blocks, "L1".. = tree levels).
+func (c *Controller) LevelFetches() *sim.CounterSet { return c.levelFetches }
+
+// New returns a controller over the given layout, key engine and NVM.
+func New(cfg Config, lay *bmt.Layout, eng *cme.Engine, nvm *mem.Controller) *Controller {
+	clk := sim.NewClock(cfg.ClockHz)
+	c := &Controller{
+		cfg:          cfg,
+		lay:          lay,
+		eng:          eng,
+		nvm:          nvm,
+		ctrCache:     cache.New("counter$", cfg.CounterCacheBytes, cfg.CacheWays, mem.BlockSize),
+		macCache:     cache.New("mac$", cfg.MACCacheBytes, cfg.CacheWays, mem.BlockSize),
+		treeCache:    cache.New("tree$", cfg.TreeCacheBytes, cfg.CacheWays, mem.BlockSize),
+		dirtyLine:    make(map[uint64]mem.Block),
+		evicting:     make(map[uint64]bool),
+		levelFetches: sim.NewCounterSet(),
+		aes:          sim.NewEngine("aes", clk.Cycles(cfg.AESCycles), clk.Cycles(cfg.AESIICycle)),
+		mac:          sim.NewEngine("mac", clk.Cycles(cfg.MACCycles), clk.Cycles(cfg.MACIICycle)),
+		macCalcs:     sim.NewCounterSet(),
+	}
+	if cfg.PreferCleanVictims {
+		c.ctrCache.SetPreferCleanVictims(true)
+		c.macCache.SetPreferCleanVictims(true)
+		c.treeCache.SetPreferCleanVictims(true)
+	}
+	return c
+}
+
+// Layout returns the metadata layout.
+func (c *Controller) Layout() *bmt.Layout { return c.lay }
+
+// Scheme returns the configured update scheme.
+func (c *Controller) Scheme() UpdateScheme { return c.cfg.Scheme }
+
+// MACCalcs returns the per-category MAC-operation counters.
+func (c *Controller) MACCalcs() *sim.CounterSet { return c.macCalcs }
+
+// AESOps returns the number of AES (OTP) operations issued.
+func (c *Controller) AESOps() int64 { return c.aesOps }
+
+// EnginesLastDone returns the latest completion time across the crypto
+// engines (combined with the NVM's LastDone to bound draining time).
+func (c *Controller) EnginesLastDone() sim.Time {
+	return sim.MaxTime(c.aes.LastDone(), c.mac.LastDone())
+}
+
+// RootRegister returns the on-chip persistent root register content.
+func (c *Controller) RootRegister() mem.Block { return c.root }
+
+// RestoreRoot overwrites the root register. Osiris-style recovery rebuilds
+// the integrity tree from recovered counters and re-anchors the root; see
+// package osiris for the freshness caveat this implies.
+func (c *Controller) RestoreRoot(root mem.Block) { c.root = root }
+
+// CacheStats returns (counter, mac, tree) cache statistics.
+func (c *Controller) CacheStats() (ctr, mac, tree cache.Stats) {
+	return c.ctrCache.Stats(), c.macCache.Stats(), c.treeCache.Stats()
+}
+
+// DirtyMetadataLines returns how many metadata lines are dirty across the
+// three caches.
+func (c *Controller) DirtyMetadataLines() int {
+	return c.ctrCache.CountDirty() + c.macCache.CountDirty() + c.treeCache.CountDirty()
+}
+
+// Crash discards all volatile state: the metadata caches and the logical
+// dirty-line table. The root register, like the drain counters, lives in a
+// persistent on-chip register and survives (§IV-C1).
+func (c *Controller) Crash() {
+	c.ctrCache.InvalidateAll()
+	c.macCache.InvalidateAll()
+	c.treeCache.InvalidateAll()
+	c.dirtyLine = make(map[uint64]mem.Block)
+	c.evicting = make(map[uint64]bool)
+}
+
+// ResetStats clears engine timing and MAC counters (the NVM's stats are
+// reset separately); cache stats are preserved.
+func (c *Controller) ResetStats() {
+	c.aes.Reset()
+	c.mac.Reset()
+	c.macCalcs = sim.NewCounterSet()
+	c.levelFetches = sim.NewCounterSet()
+	c.aesOps = 0
+}
+
+// cacheFor returns the metadata cache responsible for a metadata address.
+func (c *Controller) cacheFor(level int) *cache.Cache {
+	if level == 0 {
+		return c.ctrCache
+	}
+	return c.treeCache
+}
+
+// logicalRead returns the current logical content of a metadata line that
+// is present in a cache: the dirty table if dirty, otherwise NVM content.
+func (c *Controller) logicalRead(addr uint64) mem.Block {
+	if b, ok := c.dirtyLine[addr]; ok {
+		return b
+	}
+	return c.nvm.PeekRead(addr)
+}
+
+// IssueAES exposes the shared AES engine to the drain path: Horus reuses
+// the run-time crypto engines during draining (§IV-D).
+func (c *Controller) IssueAES(ready sim.Time) sim.Time { return c.issueAES(ready) }
+
+// IssueMAC exposes the shared MAC engine to the drain path, charging the
+// operation to the given Fig. 13 category.
+func (c *Controller) IssueMAC(ready sim.Time, category string) sim.Time {
+	return c.issueMAC(ready, category)
+}
+
+// issueMAC charges one MAC computation of the given category.
+func (c *Controller) issueMAC(ready sim.Time, category string) sim.Time {
+	c.macCalcs.Add(category, 1)
+	return c.mac.Issue(ready)
+}
+
+// issueAES charges one AES (OTP) computation.
+func (c *Controller) issueAES(ready sim.Time) sim.Time {
+	c.aesOps++
+	return c.aes.Issue(ready)
+}
+
+// memCategoryFor maps a metadata level to the Fig. 6/12 access category.
+func memCategoryFor(level int) mem.Category {
+	if level == 0 {
+		return mem.CatCounter
+	}
+	return mem.CatTree
+}
+
+// markDirty records new logical content for a cached metadata line and sets
+// its dirty bit.
+func (c *Controller) markDirty(ca *cache.Cache, addr uint64, content mem.Block) {
+	c.dirtyLine[addr] = content
+	ca.Touch(addr, true)
+}

@@ -1,0 +1,41 @@
+package secmem
+
+import "fmt"
+
+// ErrorKind classifies an integrity failure.
+type ErrorKind int
+
+// Error kinds.
+const (
+	// KindTamper: stored content does not match its MAC / parent entry.
+	KindTamper ErrorKind = iota
+	// KindReplay: content verifies against a stale counter or stale entry,
+	// detected as a mismatch under the current freshness state.
+	KindReplay
+	// KindSplice: content moved between addresses/slots.
+	KindSplice
+)
+
+var kindNames = map[ErrorKind]string{
+	KindTamper: "tamper", KindReplay: "replay", KindSplice: "splice",
+}
+
+// String names the kind.
+func (k ErrorKind) String() string { return kindNames[k] }
+
+// IntegrityError reports a failed verification. All three attack classes
+// surface as MAC mismatches; Kind records the checker's best classification
+// for diagnostics.
+type IntegrityError struct {
+	Kind   ErrorKind
+	Addr   uint64
+	Level  int
+	Index  uint64
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("secmem: integrity violation (%s) at %#x (level %d, index %d): %s",
+		e.Kind, e.Addr, e.Level, e.Index, e.Detail)
+}

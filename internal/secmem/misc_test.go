@@ -1,0 +1,101 @@
+package secmem
+
+import (
+	"testing"
+
+	"repro/internal/bmt"
+	"repro/internal/cme"
+	"repro/internal/mem"
+)
+
+func TestControllerAccessors(t *testing.T) {
+	c, _, _ := testSystem(t, EagerUpdate)
+	if c.Scheme() != EagerUpdate {
+		t.Error("Scheme accessor wrong")
+	}
+	if c.OsirisPersists() != 0 {
+		t.Error("fresh controller reports osiris persists")
+	}
+	// The drain path drives the crypto engines through the exported hooks.
+	d1 := c.IssueAES(0)
+	d2 := c.IssueMAC(d1, "chv-data-mac")
+	if d2 <= d1 || c.AESOps() != 1 || c.MACCalcs().Get("chv-data-mac") != 1 {
+		t.Error("exported engine hooks not accounted")
+	}
+	c.ResetStats()
+	if c.AESOps() != 0 || c.MACCalcs().Total() != 0 || c.EnginesLastDone() != 0 {
+		t.Error("ResetStats incomplete")
+	}
+	if c.LevelFetches().Total() != 0 {
+		t.Error("level fetches survived reset")
+	}
+}
+
+func TestRestoreRoot(t *testing.T) {
+	c, _, _ := testSystem(t, LazyUpdate)
+	want := mem.Block{0: 0xAB, 63: 0xCD}
+	c.RestoreRoot(want)
+	if c.RootRegister() != want {
+		t.Error("RestoreRoot did not take effect")
+	}
+}
+
+func TestVaultParityLayoutMath(t *testing.T) {
+	if vaultPayloadBlocks(0) != 0 {
+		t.Error("empty vault payload")
+	}
+	if vaultPayloadBlocks(8) != 9 { // 8 lines + 1 address block
+		t.Errorf("payload(8) = %d", vaultPayloadBlocks(8))
+	}
+	p, g := vaultParityLayout(16) // 16+2 = 18 payload -> 3 groups
+	if p != 18 || g != 3 {
+		t.Errorf("layout(16) = (%d,%d), want (18,3)", p, g)
+	}
+}
+
+func TestParityFlushWritesExtraBlocks(t *testing.T) {
+	lay, nvm := newLayoutAndNVM()
+	cfg := DefaultConfig()
+	cfg.Scheme = LazyUpdate
+	cfg.CounterCacheBytes = 8 << 10
+	cfg.MACCacheBytes = 8 << 10
+	cfg.TreeCacheBytes = 8 << 10
+	cfg.VaultParity = true
+	c := New(cfg, lay, newEngine(), nvm)
+	if _, err := c.WriteBlock(0, 0, mem.Block{0: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := c.FlushMetadataCaches(0)
+	if !rec.Parity {
+		t.Fatal("parity flag missing")
+	}
+	payload, groups := vaultParityLayout(rec.Count)
+	// Leaf-MAC and parity blocks must be present past the payload.
+	macBlk := nvm.PeekRead(lay.VaultAddr(uint64(payload)))
+	if macBlk.IsZero() {
+		t.Error("leaf-MAC block missing")
+	}
+	parityBlk := nvm.PeekRead(lay.VaultAddr(uint64(payload + groups)))
+	if parityBlk.IsZero() {
+		t.Error("parity block missing")
+	}
+	// Parity of group 0 must equal the XOR of its payload blocks.
+	var want mem.Block
+	for i := 0; i < 8 && i < payload; i++ {
+		b := nvm.PeekRead(lay.VaultAddr(uint64(i)))
+		for k := range want {
+			want[k] ^= b[k]
+		}
+	}
+	if parityBlk != want {
+		t.Error("parity block is not the group XOR")
+	}
+}
+
+// Helpers shared by the misc tests.
+func newLayoutAndNVM() (*bmt.Layout, *mem.Controller) {
+	lay := bmt.NewLayout(bmt.Config{DataSize: 64 << 20, CHVCapacity: 1024, VaultBlocks: 20000})
+	return lay, mem.NewController(mem.DefaultConfig())
+}
+
+func newEngine() *cme.Engine { return cme.NewEngine(99) }

@@ -1,0 +1,159 @@
+package secmem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Property: any interleaving of secure writes and reads behaves like a
+// plain map from address to last-written value, under both update schemes,
+// despite cache churn, eviction cascades and counter increments.
+func TestSecureMemoryLinearizesProperty(t *testing.T) {
+	for _, scheme := range []UpdateScheme{LazyUpdate, EagerUpdate} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			f := func(seed int64, opsRaw []uint32) bool {
+				c, _, _ := testSystem(t, scheme)
+				rng := rand.New(rand.NewSource(seed))
+				golden := make(map[uint64]mem.Block)
+				var now sim.Time
+				for _, op := range opsRaw {
+					addr := (uint64(op) % (1 << 12)) * 4096 // sparse: own counter region
+					if op&1 == 0 || golden[addr] == (mem.Block{}) {
+						var b mem.Block
+						b[0] = byte(rng.Uint32()) | 1
+						done, err := c.WriteBlock(now, addr, b)
+						if err != nil {
+							t.Logf("write: %v", err)
+							return false
+						}
+						now = done
+						golden[addr] = b
+					} else {
+						got, done, err := c.ReadBlock(now, addr)
+						if err != nil {
+							t.Logf("read: %v", err)
+							return false
+						}
+						now = done
+						if got != golden[addr] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: after any write burst, a vault flush + crash + reinstall
+// round-trips every written block (lazy scheme end-to-end consistency).
+func TestVaultRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		c, _, _ := testSystem(t, LazyUpdate)
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		golden := make(map[uint64]mem.Block)
+		var now sim.Time
+		for i := 0; i < n; i++ {
+			addr := uint64(rng.Intn(1<<12)) * 4096
+			var b mem.Block
+			b[5] = byte(i + 1)
+			done, err := c.WriteBlock(now, addr, b)
+			if err != nil {
+				return false
+			}
+			now = done
+			golden[addr] = b
+		}
+		rec, _ := c.FlushMetadataCaches(now)
+		lines := readVaultForTest(c, rec)
+		c.Crash()
+		c.ReinstallMetadata(lines)
+		for addr, want := range golden {
+			got, done, err := c.ReadBlock(now, addr)
+			if err != nil || got != want {
+				return false
+			}
+			now = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Repeated overflow churn: hammer a handful of regions past several minor
+// overflows while interleaving neighbours, then verify everything.
+func TestRepeatedOverflowChurn(t *testing.T) {
+	c, _, _ := testSystem(t, LazyUpdate)
+	golden := make(map[uint64]mem.Block)
+	var now sim.Time
+	write := func(addr uint64, tag byte) {
+		b := mem.Block{0: tag, 1: byte(addr >> 6)}
+		done, err := c.WriteBlock(now, addr, b)
+		if err != nil {
+			t.Fatalf("write %#x: %v", addr, err)
+		}
+		now = done
+		golden[addr] = b
+	}
+	for i := 0; i < 300; i++ {
+		write(0, byte(i))        // hot slot: overflows at 128 and 256
+		write(64, byte(i+1))     // neighbour in the same region
+		write(4096*7, byte(i+2)) // separate region
+	}
+	for addr, want := range golden {
+		got, done, err := c.ReadBlock(now, addr)
+		if err != nil {
+			t.Fatalf("read %#x: %v", addr, err)
+		}
+		now = done
+		if got != want {
+			t.Fatalf("mismatch at %#x", addr)
+		}
+	}
+	// Overflow must have happened (2 region re-encryptions for the hot
+	// region: at write counts crossing 128 and 256).
+	if c.MACCalcs().Get(MACData) <= 900 {
+		t.Error("expected extra data MACs from region re-encryption")
+	}
+}
+
+func TestLazyCrashWithoutFlushBreaksVerification(t *testing.T) {
+	// The motivation for the metadata-cache vault (§II-C, §IV-B): under the
+	// lazy scheme, upper tree levels live dirty in the volatile cache, so a
+	// crash WITHOUT a metadata flush leaves the in-NVM tree inconsistent
+	// with itself and with the root register — post-crash verification must
+	// fail rather than silently accept an unverifiable image.
+	c, _, _ := testSystem(t, LazyUpdate)
+	var now sim.Time
+	if _, err := c.WriteBlock(now, 0, mem.Block{0: 0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	// Flood so block 0's counter and low tree levels are evicted to NVM
+	// while upper levels stay dirty-cached.
+	for i := 1; i <= 4096; i++ {
+		done, err := c.WriteBlock(now, uint64(i)*4096, mem.Block{0: byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = done
+	}
+	c.Crash() // no FlushMetadataCaches: the vault step is skipped
+	_, _, err := c.ReadBlock(now, 0)
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("post-crash read without vault flush returned %v; want verification failure (this is why the vault exists)", err)
+	}
+}

@@ -1,0 +1,246 @@
+package secmem
+
+import (
+	"fmt"
+
+	"repro/internal/bmt"
+	"repro/internal/cache"
+	"repro/internal/cme"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// maxEvictionDepth bounds the cascade of eviction -> parent fetch ->
+// eviction chains. Real chains are bounded by the tree height; blowing this
+// limit indicates a simulator bug, so we fail loudly.
+const maxEvictionDepth = 128
+
+// zeroMAC is the parent entry of a never-written child.
+var zeroMAC cme.MAC
+
+// entryOf extracts the 8-byte entry for a child slot from a parent node.
+func entryOf(parent mem.Block, slot int) cme.MAC {
+	var m cme.MAC
+	copy(m[:], parent[slot*cme.MACSize:(slot+1)*cme.MACSize])
+	return m
+}
+
+// setEntry stores an 8-byte entry into a parent node content.
+func setEntry(parent *mem.Block, slot int, m cme.MAC) {
+	copy(parent[slot*cme.MACSize:(slot+1)*cme.MACSize], m[:])
+}
+
+// ensureNode returns the current logical content of metadata node (level,
+// index), fetching it from NVM — with a full verification walk to the
+// nearest cached ancestor — if it is not cached. The returned time is when
+// the verified content is available.
+func (c *Controller) ensureNode(ready sim.Time, level int, index uint64) (mem.Block, sim.Time, error) {
+	if level == c.lay.RootLevel() {
+		return c.root, ready, nil
+	}
+	addr := c.lay.NodeAddr(level, index)
+	ca := c.cacheFor(level)
+	if ca.Lookup(addr) {
+		return c.logicalRead(addr), ready, nil
+	}
+	if c.evicting[addr] {
+		// Write-back buffer hit: the line is mid-eviction; its current
+		// content lives in the dirty table until the write-back completes.
+		return c.dirtyLine[addr], ready, nil
+	}
+	// Miss: fetch from NVM and verify against the parent, which is fetched
+	// (and verified) recursively until a cached ancestor or the root.
+	c.levelFetches.Add(fmt.Sprintf("L%d", level), 1)
+	raw, t := c.nvm.Read(ready, addr, memCategoryFor(level))
+	pLevel, pIndex, slot := c.lay.Parent(level, index)
+	parent, t, err := c.ensureNode(t, pLevel, pIndex)
+	if err != nil {
+		return mem.Block{}, t, err
+	}
+	expected := entryOf(parent, slot)
+	t = c.issueMAC(t, MACVerify)
+	if expected == zeroMAC {
+		// Sparse-tree default: a zero parent entry asserts the child was
+		// never persisted, so its NVM content must still be zero.
+		if !raw.IsZero() {
+			return mem.Block{}, t, &IntegrityError{
+				Kind: KindTamper, Addr: addr, Level: level, Index: index,
+				Detail: "nonzero content under a zero parent entry",
+			}
+		}
+	} else if c.eng.NodeMAC(level, index, raw) != expected {
+		return mem.Block{}, t, &IntegrityError{
+			Kind: KindTamper, Addr: addr, Level: level, Index: index,
+			Detail: "node MAC mismatch against parent entry",
+		}
+	}
+	// The parent fetch may have cascaded into evictions whose handling
+	// fetched (or is currently writing back) this very node; in that case
+	// its current logical content supersedes the copy read above.
+	if ca.Contains(addr) {
+		return c.logicalRead(addr), t, nil
+	}
+	if c.evicting[addr] {
+		return c.dirtyLine[addr], t, nil
+	}
+	c.insertLine(t, ca, addr, false, raw)
+	return raw, t, nil
+}
+
+// ensureMACBlock returns the logical content of the data-MAC block at addr,
+// fetching it on a miss. Data MAC blocks are not covered by the tree
+// (Bonsai: the per-block MAC itself provides integrity and freshness once
+// the counter is verified), so no verification walk is needed.
+func (c *Controller) ensureMACBlock(ready sim.Time, addr uint64) (mem.Block, sim.Time) {
+	if c.macCache.Lookup(addr) {
+		return c.logicalRead(addr), ready
+	}
+	raw, t := c.nvm.Read(ready, addr, mem.CatMAC)
+	c.insertLine(t, c.macCache, addr, false, raw)
+	return raw, t
+}
+
+// insertLine allocates a line and handles the displaced victim: dirty
+// victims are written back to NVM and, for counter/tree lines, their parent
+// entry is recomputed and marked dirty (the lazy-update propagation step;
+// under the eager scheme parents are already current, so only the
+// write-back happens).
+func (c *Controller) insertLine(ready sim.Time, ca *cache.Cache, addr uint64, dirty bool, content mem.Block) {
+	if dirty {
+		c.dirtyLine[addr] = content
+	}
+	ev, evicted := ca.Insert(addr, dirty)
+	if !evicted || !ev.Dirty {
+		return
+	}
+	c.evictionDepth++
+	if c.evictionDepth > maxEvictionDepth {
+		panic("secmem: runaway eviction cascade")
+	}
+	defer func() { c.evictionDepth-- }()
+
+	level, index, isNode := c.lay.Coord(ev.Addr)
+	var cat mem.Category
+	switch {
+	case isNode:
+		cat = memCategoryFor(level)
+	case c.lay.RegionOf(ev.Addr) == bmt.RegionMAC:
+		cat = mem.CatMAC
+	default:
+		panic(fmt.Sprintf("secmem: dirty eviction of unexpected address %#x", ev.Addr))
+	}
+	if !isNode || c.cfg.Scheme == EagerUpdate {
+		// Data-MAC blocks have no parent entry; under the eager scheme
+		// parents were already updated at write time. No cascade can touch
+		// the victim, so write it back directly.
+		c.nvm.Write(ready, ev.Addr, c.dirtyLine[ev.Addr], cat)
+		delete(c.dirtyLine, ev.Addr)
+		return
+	}
+	// Lazy: recompute the parent entry before persisting the new content,
+	// so nested fetches never observe (new content, old entry) in NVM.
+	// While the parent update cascades, the victim sits in a write-back
+	// buffer (the evicting set): nested cascades may re-read it — or even
+	// update one of its own child entries — through that buffer, in which
+	// case the parent entry is recomputed for the final content.
+	c.evicting[ev.Addr] = true
+	t := ready
+	for attempt := 0; ; attempt++ {
+		if attempt > 16 {
+			panic("secmem: victim thrashing during eviction")
+		}
+		content := c.dirtyLine[ev.Addr]
+		t = c.issueMAC(t, MACTreeUpdate)
+		macVal := c.eng.NodeMAC(level, index, content)
+		if err := c.storeParentEntry(t, level, index, macVal); err != nil {
+			// A verification failure during eviction handling means the
+			// NVM was tampered with mid-operation; surface it loudly.
+			panic(fmt.Sprintf("secmem: integrity failure during eviction: %v", err))
+		}
+		if c.dirtyLine[ev.Addr] != content {
+			continue // a nested cascade updated the victim; redo the entry
+		}
+		c.nvm.Write(t, ev.Addr, content, cat)
+		delete(c.dirtyLine, ev.Addr)
+		delete(c.evicting, ev.Addr)
+		return
+	}
+}
+
+// storeParentEntry writes the MAC entry for child (level, index) into its
+// parent, fetching the parent if needed and marking it dirty (or updating
+// the on-chip root register when the parent is the root).
+func (c *Controller) storeParentEntry(ready sim.Time, level int, index uint64, macVal cme.MAC) error {
+	pLevel, pIndex, slot := c.lay.Parent(level, index)
+	if pLevel == c.lay.RootLevel() {
+		setEntry(&c.root, slot, macVal)
+		return nil
+	}
+	_, _, err := c.updateNodeEntry(ready, pLevel, pIndex, slot, macVal)
+	return err
+}
+
+// updateNodeEntry sets one child entry in the stored tree node (level,
+// index), fetching the node if absent, and returns the node's updated
+// logical content. It re-reads the node's current logical content at update
+// time: fetching it may trigger eviction cascades that update the very same
+// node for a sibling child, and applying a stale copy would silently drop
+// that sibling's entry. If a cascade evicts the node between the fetch and
+// the update (consistently — the eviction wrote it back and updated its
+// parent), the fetch is retried.
+func (c *Controller) updateNodeEntry(ready sim.Time, level int, index uint64, slot int, macVal cme.MAC) (mem.Block, sim.Time, error) {
+	addr := c.lay.NodeAddr(level, index)
+	ca := c.cacheFor(level)
+	t := ready
+	for attempt := 0; ; attempt++ {
+		if attempt > 16 {
+			panic("secmem: node thrashing while updating a parent entry")
+		}
+		var err error
+		if _, t, err = c.ensureNode(t, level, index); err != nil {
+			return mem.Block{}, t, err
+		}
+		if ca.Contains(addr) {
+			content := c.logicalRead(addr)
+			setEntry(&content, slot, macVal)
+			c.markDirty(ca, addr, content)
+			return content, t, nil
+		}
+		if c.evicting[addr] {
+			// The node is mid-eviction: update it in the write-back buffer;
+			// the eviction loop recomputes its parent entry afterwards.
+			content := c.dirtyLine[addr]
+			setEntry(&content, slot, macVal)
+			c.dirtyLine[addr] = content
+			return content, t, nil
+		}
+		// Evicted by a cascade during the fetch; refetch.
+	}
+}
+
+// propagateEager pushes a leaf update through every tree level to the root
+// register (the eager scheme). Each level costs one MAC computation; levels
+// are fetched (with verification) if absent.
+func (c *Controller) propagateEager(ready sim.Time, level int, index uint64, content mem.Block) (sim.Time, error) {
+	t := ready
+	lv, idx, cur := level, index, content
+	for lv < c.lay.RootLevel() {
+		t = c.issueMAC(t, MACTreeUpdate)
+		macVal := c.eng.NodeMAC(lv, idx, cur)
+		pLevel, pIndex, slot := c.lay.Parent(lv, idx)
+		if pLevel == c.lay.RootLevel() {
+			setEntry(&c.root, slot, macVal)
+			return t, nil
+		}
+		var err error
+		cur, t, err = c.updateNodeEntry(t, pLevel, pIndex, slot, macVal)
+		if err != nil {
+			return t, err
+		}
+		lv, idx = pLevel, pIndex
+	}
+	return t, nil
+}
+
+// cacheOf exposes internal caches to tests in this package.
+func (c *Controller) cacheOf(level int) *cache.Cache { return c.cacheFor(level) }

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CounterSet is an ordered collection of labelled int64 counters. It is used
+// for the per-category breakdowns in the paper's figures (memory writes by
+// type, MAC calculations by purpose). Categories appear in the order they
+// are first incremented, which keeps reports stable for a deterministic run.
+type CounterSet struct {
+	order  []string
+	counts map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{counts: make(map[string]int64)}
+}
+
+// Add increments the named counter by n, creating it if needed.
+func (cs *CounterSet) Add(name string, n int64) {
+	if _, ok := cs.counts[name]; !ok {
+		cs.order = append(cs.order, name)
+	}
+	cs.counts[name] += n
+}
+
+// Get returns the value of the named counter (zero if absent).
+func (cs *CounterSet) Get(name string) int64 { return cs.counts[name] }
+
+// Total returns the sum of all counters.
+func (cs *CounterSet) Total() int64 {
+	var t int64
+	for _, v := range cs.counts {
+		t += v
+	}
+	return t
+}
+
+// Names returns the counter names in first-use order.
+func (cs *CounterSet) Names() []string {
+	out := make([]string, len(cs.order))
+	copy(out, cs.order)
+	return out
+}
+
+// SortedNames returns the counter names in lexical order.
+func (cs *CounterSet) SortedNames() []string {
+	out := cs.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the counter set.
+func (cs *CounterSet) Clone() *CounterSet {
+	out := NewCounterSet()
+	for _, name := range cs.order {
+		out.Add(name, cs.counts[name])
+	}
+	return out
+}
+
+// Merge adds every counter from other into cs.
+func (cs *CounterSet) Merge(other *CounterSet) {
+	for _, name := range other.order {
+		cs.Add(name, other.counts[name])
+	}
+}
+
+// String renders "name=value" pairs in first-use order.
+func (cs *CounterSet) String() string {
+	var b strings.Builder
+	for i, name := range cs.order {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", name, cs.counts[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// FuzzTimelineReserve drives the gap-filling scheduler with arbitrary
+// (ready, duration) sequences and checks the structural invariants:
+// no reservation starts before its ready time, reservations never overlap,
+// and the gap list stays sorted, positive-length and below the tail.
+func FuzzTimelineReserve(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 200, 5, 0, 50})
+	f.Add([]byte{255, 255, 0, 0, 128, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tl timeline
+		type span struct{ s, e Time }
+		var spans []span
+		for i := 0; i+1 < len(data) && i < 200; i += 2 {
+			ready := Time(data[i]) * 17
+			dur := Time(data[i+1]%40) + 1
+			s := tl.reserve(ready, dur)
+			if s < ready {
+				t.Fatalf("started %v before ready %v", s, ready)
+			}
+			for _, sp := range spans {
+				if s < sp.e && sp.s < s+dur {
+					t.Fatalf("overlap: [%v,%v) with [%v,%v)", s, s+dur, sp.s, sp.e)
+				}
+			}
+			spans = append(spans, span{s, s + dur})
+			for j := range tl.gaps {
+				g := tl.gaps[j]
+				if g.end <= g.start {
+					t.Fatal("degenerate gap")
+				}
+				if g.end > tl.tail {
+					t.Fatal("gap beyond tail")
+				}
+				if j > 0 && g.start < tl.gaps[j-1].end {
+					t.Fatal("gaps out of order or overlapping")
+				}
+			}
+		}
+	})
+}

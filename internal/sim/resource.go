@@ -1,0 +1,109 @@
+package sim
+
+// Resource models a single-server resource such as a memory bank or a
+// command bus: at most one operation occupies it at a time. Reservations
+// are gap-filling (see timeline): an operation ready early may use an idle
+// interval left by earlier-issued but later-scheduled work, as a queued
+// memory controller would.
+type Resource struct {
+	name string
+	tl   timeline
+
+	ops  int64
+	busy Time // total occupied time, for utilisation reporting
+}
+
+// NewResource returns an idle resource with the given diagnostic name.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Acquire reserves the resource for dur starting no earlier than ready and
+// returns the start and completion times of the reservation.
+func (r *Resource) Acquire(ready, dur Time) (start, done Time) {
+	start = r.tl.reserve(ready, dur)
+	done = start + dur
+	r.ops++
+	r.busy += dur
+	return start, done
+}
+
+// FreeAt returns the time after the last reservation (interior idle gaps
+// may still exist before it).
+func (r *Resource) FreeAt() Time { return r.tl.freeAt() }
+
+// Ops returns the number of operations served.
+func (r *Resource) Ops() int64 { return r.ops }
+
+// BusyTime returns the cumulative occupied duration.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Name returns the diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Reset returns the resource to the idle state and clears statistics.
+func (r *Resource) Reset() {
+	r.tl.reset()
+	r.ops = 0
+	r.busy = 0
+}
+
+// Engine models a pipelined functional unit, e.g. an AES or MAC engine.
+// A new operation can be issued every initiation interval (II); each
+// operation completes latency after it issues. Issue slots are gap-filling,
+// like Resource.
+type Engine struct {
+	name    string
+	latency Time
+	ii      Time
+
+	tl       timeline
+	ops      int64
+	lastDone Time
+}
+
+// NewEngine returns a pipelined engine with the given per-operation latency
+// and initiation interval. An II of zero means fully combinational issue
+// (no structural hazard); latency must be non-negative.
+func NewEngine(name string, latency, ii Time) *Engine {
+	if latency < 0 || ii < 0 {
+		panic("sim: engine latency and II must be non-negative")
+	}
+	return &Engine{name: name, latency: latency, ii: ii}
+}
+
+// Issue starts one operation no earlier than ready, respecting the
+// initiation interval, and returns its completion time.
+func (e *Engine) Issue(ready Time) (done Time) {
+	var start Time
+	if e.ii == 0 {
+		start = ready
+	} else {
+		start = e.tl.reserve(ready, e.ii)
+	}
+	done = start + e.latency
+	e.ops++
+	if done > e.lastDone {
+		e.lastDone = done
+	}
+	return done
+}
+
+// Ops returns the number of operations issued.
+func (e *Engine) Ops() int64 { return e.ops }
+
+// LastDone returns the completion time of the latest-finishing operation.
+func (e *Engine) LastDone() Time { return e.lastDone }
+
+// Latency returns the per-operation latency.
+func (e *Engine) Latency() Time { return e.latency }
+
+// Name returns the diagnostic name.
+func (e *Engine) Name() string { return e.name }
+
+// Reset returns the engine to the idle state and clears statistics.
+func (e *Engine) Reset() {
+	e.tl.reset()
+	e.ops = 0
+	e.lastDone = 0
+}

@@ -1,0 +1,91 @@
+package sim
+
+// timeline is a single-server occupancy schedule with gap filling: a
+// reservation may be placed in an earlier idle interval if one fits after
+// its ready time. This models an out-of-order memory controller or a
+// pipelined functional unit with a request queue: independent operations
+// issued later in program order can still use earlier idle slots, which is
+// what keeps the simulated drain bandwidth-bound rather than artificially
+// serialised by issue order.
+//
+// The gap list is bounded; when it overflows, the smallest gap is dropped
+// (conservative: dropped capacity is never reused, slightly over-estimating
+// time).
+type timeline struct {
+	gaps []gap // sorted by start time
+	tail Time  // end of the last reservation
+}
+
+type gap struct{ start, end Time }
+
+// maxGaps bounds the per-timeline gap list.
+const maxGaps = 64
+
+// reserve books dur units starting no earlier than ready, preferring the
+// earliest fitting idle gap, and returns the start time.
+func (tl *timeline) reserve(ready, dur Time) Time {
+	if dur < 0 {
+		panic("sim: negative duration")
+	}
+	for i := range tl.gaps {
+		g := tl.gaps[i]
+		if g.end <= ready {
+			continue
+		}
+		s := MaxTime(g.start, ready)
+		if s+dur > g.end {
+			continue
+		}
+		// Split the gap around [s, s+dur).
+		switch {
+		case s == g.start && s+dur == g.end:
+			tl.gaps = append(tl.gaps[:i], tl.gaps[i+1:]...)
+		case s == g.start:
+			tl.gaps[i].start = s + dur
+		case s+dur == g.end:
+			tl.gaps[i].end = s
+		default:
+			tl.gaps[i].end = s
+			tl.insertGap(gap{s + dur, g.end}, i+1)
+		}
+		return s
+	}
+	s := MaxTime(ready, tl.tail)
+	if s > tl.tail {
+		tl.insertGap(gap{tl.tail, s}, len(tl.gaps))
+	}
+	tl.tail = s + dur
+	return s
+}
+
+// insertGap inserts g at position i, evicting the smallest gap when full.
+func (tl *timeline) insertGap(g gap, i int) {
+	if g.end <= g.start {
+		return
+	}
+	if len(tl.gaps) >= maxGaps {
+		// Drop the smallest gap (never this one if it is larger).
+		smallest, si := g.end-g.start, -1
+		for j := range tl.gaps {
+			if d := tl.gaps[j].end - tl.gaps[j].start; d < smallest {
+				smallest, si = d, j
+			}
+		}
+		if si < 0 {
+			return // g itself is the smallest; drop it
+		}
+		if si < i {
+			i--
+		}
+		tl.gaps = append(tl.gaps[:si], tl.gaps[si+1:]...)
+	}
+	tl.gaps = append(tl.gaps, gap{})
+	copy(tl.gaps[i+1:], tl.gaps[i:])
+	tl.gaps[i] = g
+}
+
+// freeAt returns the tail free time (ignoring interior gaps).
+func (tl *timeline) freeAt() Time { return tl.tail }
+
+// reset clears the schedule.
+func (tl *timeline) reset() { tl.gaps = nil; tl.tail = 0 }

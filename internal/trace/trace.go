@@ -1,0 +1,102 @@
+// Package trace records the memory-access stream of a simulation as
+// structured events and exports it as CSV, for debugging drain behaviour
+// and for offline analysis (e.g. plotting the paper's figures from raw
+// events instead of aggregated counters).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Kind is the event type.
+type Kind string
+
+// Event kinds.
+const (
+	KindRead  Kind = "read"
+	KindWrite Kind = "write"
+)
+
+// Event is one recorded memory access.
+type Event struct {
+	Seq      int64    // issue order
+	Time     sim.Time // completion time
+	Kind     Kind
+	Addr     uint64
+	Category string // the Fig. 6/12 access category
+}
+
+// Recorder accumulates events up to a limit (0 = unlimited). It implements
+// mem.Observer.
+type Recorder struct {
+	limit   int
+	dropped int64
+	events  []Event
+	seq     int64
+}
+
+// NewRecorder returns a recorder keeping at most limit events
+// (0 = unlimited).
+func NewRecorder(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// OnAccess records one access; extra events past the limit are counted as
+// dropped rather than silently ignored.
+func (r *Recorder) OnAccess(kind string, done sim.Time, addr uint64, category string) {
+	r.seq++
+	if r.limit > 0 && len(r.events) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{
+		Seq:      r.seq,
+		Time:     done,
+		Kind:     Kind(kind),
+		Addr:     addr,
+		Category: category,
+	})
+}
+
+// Events returns the recorded events in issue order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events were discarded due to the limit.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.events = nil
+	r.seq = 0
+	r.dropped = 0
+}
+
+// WriteCSV writes "seq,time_ps,kind,addr,category" rows with a header.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seq", "time_ps", "kind", "addr", "category"}); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		rec := []string{
+			strconv.FormatInt(e.Seq, 10),
+			strconv.FormatInt(int64(e.Time), 10),
+			string(e.Kind),
+			fmt.Sprintf("0x%x", e.Addr),
+			e.Category,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestRecorderCapturesAccesses(t *testing.T) {
+	c := mem.NewController(mem.DefaultConfig())
+	r := NewRecorder(0)
+	c.SetObserver(r)
+	c.Write(0, 0x1000, mem.Block{}, mem.CatData)
+	c.Read(0, 0x1000, mem.CatCounter)
+	if r.Len() != 2 {
+		t.Fatalf("recorded %d events, want 2", r.Len())
+	}
+	ev := r.Events()
+	if ev[0].Kind != KindWrite || ev[0].Addr != 0x1000 || ev[0].Category != "data" {
+		t.Errorf("first event wrong: %+v", ev[0])
+	}
+	if ev[1].Kind != KindRead || ev[1].Category != "counter" {
+		t.Errorf("second event wrong: %+v", ev[1])
+	}
+	if ev[0].Seq >= ev[1].Seq {
+		t.Error("sequence not monotonic")
+	}
+	if ev[0].Time <= 0 {
+		t.Error("completion time missing")
+	}
+}
+
+func TestRecorderLimitAndDropCount(t *testing.T) {
+	c := mem.NewController(mem.DefaultConfig())
+	r := NewRecorder(3)
+	c.SetObserver(r)
+	for i := 0; i < 10; i++ {
+		c.Write(0, uint64(i)*64, mem.Block{}, mem.CatData)
+	}
+	if r.Len() != 3 {
+		t.Errorf("retained %d, want 3", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("dropped %d, want 7", r.Dropped())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(0)
+	r.OnAccess("write", 505000, 0x40, "chv-data")
+	r.OnAccess("read", 660000, 0x80, "recovery")
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3 (header + 2)", len(lines))
+	}
+	if lines[0] != "seq,time_ps,kind,addr,category" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "write") || !strings.Contains(lines[1], "0x40") || !strings.Contains(lines[1], "chv-data") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(1)
+	r.OnAccess("write", 1, 0, "data")
+	r.OnAccess("write", 2, 0, "data")
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("Reset incomplete")
+	}
+	r.OnAccess("read", 3, 0, "data")
+	if r.Events()[0].Seq != 1 {
+		t.Error("sequence not restarted")
+	}
+}
+
+func TestObserverClearable(t *testing.T) {
+	c := mem.NewController(mem.DefaultConfig())
+	r := NewRecorder(0)
+	c.SetObserver(r)
+	c.Write(0, 0, mem.Block{}, mem.CatData)
+	c.SetObserver(nil)
+	c.Write(0, 64, mem.Block{}, mem.CatData)
+	if r.Len() != 1 {
+		t.Error("observer kept recording after removal")
+	}
+}

@@ -1,0 +1,277 @@
+// Package workload generates deterministic memory-operation streams for
+// the run-time simulation: the application classes the paper's introduction
+// motivates EPD systems with — key-value stores, analytical (scan-heavy)
+// workloads, transactional databases with persist barriers, and graph
+// algorithms — plus synthetic uniform/zipfian/sequential mixes for
+// calibration.
+//
+// Every generator is a pure function of its seed, so run-time experiments
+// are reproducible, and produces 64-byte-block-granular operations.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// OpKind is the type of one memory operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	// OpRead loads a block.
+	OpRead OpKind = iota
+	// OpWrite stores a block.
+	OpWrite
+	// OpPersist is a durability point for the most recent write to the
+	// address: under ADR the line must be flushed to the memory
+	// controller; under EPD it is free (the cache is persistent).
+	OpPersist
+)
+
+var kindNames = map[OpKind]string{OpRead: "read", OpWrite: "write", OpPersist: "persist"}
+
+// String names the kind.
+func (k OpKind) String() string { return kindNames[k] }
+
+// Op is one block-granular memory operation.
+type Op struct {
+	Kind OpKind
+	Addr uint64 // 64-byte aligned
+}
+
+// Stream is a finite, replayable operation stream.
+type Stream struct {
+	Name string
+	Ops  []Op
+}
+
+// Stats summarises a stream's composition.
+func (s *Stream) Stats() (reads, writes, persists int) {
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpRead:
+			reads++
+		case OpWrite:
+			writes++
+		case OpPersist:
+			persists++
+		}
+	}
+	return
+}
+
+// String describes the stream.
+func (s *Stream) String() string {
+	r, w, p := s.Stats()
+	return fmt.Sprintf("%s: %d ops (%d reads, %d writes, %d persists)", s.Name, len(s.Ops), r, w, p)
+}
+
+const blockSize = 64
+
+// alignDown clamps an address to block granularity inside the region.
+func blockAddr(region, slots uint64, i uint64) uint64 {
+	return region + (i%slots)*blockSize
+}
+
+// Config bounds a generator.
+type Config struct {
+	Ops            int    // number of operations to emit
+	WorkingSet     uint64 // bytes of addressable data (block-rounded)
+	Seed           int64
+	PersistPercent int // percentage of writes followed by a persist (0-100)
+}
+
+func (c Config) slots() uint64 {
+	s := c.WorkingSet / blockSize
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+func (c Config) validate() {
+	if c.Ops < 0 || c.PersistPercent < 0 || c.PersistPercent > 100 {
+		panic("workload: invalid config")
+	}
+}
+
+// maybePersist appends a persist after a write according to the ratio.
+func maybePersist(ops []Op, addr uint64, rng *rand.Rand, pct int) []Op {
+	if pct > 0 && rng.Intn(100) < pct {
+		ops = append(ops, Op{Kind: OpPersist, Addr: addr})
+	}
+	return ops
+}
+
+// Sequential emits a read-modify-write sweep over the working set, the
+// analytical-scan shape (large in-memory analytics, §I).
+func Sequential(cfg Config) *Stream {
+	cfg.validate()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.slots()
+	ops := make([]Op, 0, cfg.Ops)
+	for i := 0; len(ops) < cfg.Ops; i++ {
+		a := blockAddr(0, slots, uint64(i))
+		ops = append(ops, Op{Kind: OpRead, Addr: a})
+		if len(ops) < cfg.Ops {
+			ops = append(ops, Op{Kind: OpWrite, Addr: a})
+			ops = maybePersist(ops, a, rng, cfg.PersistPercent)
+		}
+	}
+	return &Stream{Name: "sequential-scan", Ops: ops[:cfg.Ops]}
+}
+
+// Uniform emits uniformly random reads/writes (50/50), the worst cache
+// behaviour for a given working set.
+func Uniform(cfg Config) *Stream {
+	cfg.validate()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.slots()
+	ops := make([]Op, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		a := blockAddr(0, slots, uint64(rng.Int63n(int64(slots))))
+		if rng.Intn(2) == 0 {
+			ops = append(ops, Op{Kind: OpRead, Addr: a})
+		} else {
+			ops = append(ops, Op{Kind: OpWrite, Addr: a})
+			ops = maybePersist(ops, a, rng, cfg.PersistPercent)
+		}
+	}
+	return &Stream{Name: "uniform-random", Ops: ops[:cfg.Ops]}
+}
+
+// Zipf emits a zipfian-skewed read-mostly mix (80/20), the key-value-store
+// shape (§I: KV store workloads).
+func Zipf(cfg Config, skew float64) *Stream {
+	cfg.validate()
+	if skew <= 1 {
+		panic("workload: zipf skew must be > 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.slots()
+	z := rand.NewZipf(rng, skew, 1, slots-1)
+	ops := make([]Op, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		a := blockAddr(0, slots, z.Uint64())
+		if rng.Intn(100) < 80 {
+			ops = append(ops, Op{Kind: OpRead, Addr: a})
+		} else {
+			ops = append(ops, Op{Kind: OpWrite, Addr: a})
+			ops = maybePersist(ops, a, rng, cfg.PersistPercent)
+		}
+	}
+	return &Stream{Name: "zipf-kv", Ops: ops[:cfg.Ops]}
+}
+
+// KVStore emits put/get traffic over multi-block values with a persist
+// after each completed put: a durable key-value store (§I).
+func KVStore(cfg Config, valueBlocks int) *Stream {
+	cfg.validate()
+	if valueBlocks <= 0 {
+		panic("workload: value size must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.slots()
+	objects := slots / uint64(valueBlocks)
+	if objects == 0 {
+		objects = 1
+	}
+	ops := make([]Op, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		obj := uint64(rng.Int63n(int64(objects)))
+		base := obj * uint64(valueBlocks) * blockSize
+		if rng.Intn(100) < 60 { // get
+			for b := 0; b < valueBlocks && len(ops) < cfg.Ops; b++ {
+				ops = append(ops, Op{Kind: OpRead, Addr: base + uint64(b)*blockSize})
+			}
+		} else { // put: write all blocks, then persist the object
+			for b := 0; b < valueBlocks && len(ops) < cfg.Ops; b++ {
+				ops = append(ops, Op{Kind: OpWrite, Addr: base + uint64(b)*blockSize})
+			}
+			for b := 0; b < valueBlocks && len(ops) < cfg.Ops; b++ {
+				ops = append(ops, Op{Kind: OpPersist, Addr: base + uint64(b)*blockSize})
+			}
+		}
+	}
+	return &Stream{Name: "kv-store", Ops: ops[:cfg.Ops]}
+}
+
+// TxLog emits a transactional-database shape (§I): append a log record
+// (sequential writes + persists), then apply random in-place updates.
+func TxLog(cfg Config, recordBlocks, updatesPerTx int) *Stream {
+	cfg.validate()
+	if recordBlocks <= 0 || updatesPerTx < 0 {
+		panic("workload: invalid transaction shape")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.slots()
+	logRegion := slots / 4 // first quarter is the log
+	dataRegion := slots - logRegion
+	var logHead uint64
+	ops := make([]Op, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		// Log append + persist (write-ahead).
+		for b := 0; b < recordBlocks && len(ops) < cfg.Ops; b++ {
+			a := blockAddr(0, logRegion, logHead)
+			logHead++
+			ops = append(ops, Op{Kind: OpWrite, Addr: a})
+			ops = append(ops, Op{Kind: OpPersist, Addr: a})
+		}
+		// In-place updates (read-modify-write), persisted at commit.
+		var touched []uint64
+		for u := 0; u < updatesPerTx && len(ops) < cfg.Ops; u++ {
+			a := blockAddr(logRegion*blockSize, dataRegion, uint64(rng.Int63n(int64(dataRegion))))
+			ops = append(ops, Op{Kind: OpRead, Addr: a})
+			if len(ops) < cfg.Ops {
+				ops = append(ops, Op{Kind: OpWrite, Addr: a})
+				touched = append(touched, a)
+			}
+		}
+		for _, a := range touched {
+			if len(ops) >= cfg.Ops {
+				break
+			}
+			ops = append(ops, Op{Kind: OpPersist, Addr: a})
+		}
+	}
+	return &Stream{Name: "tx-log", Ops: ops[:cfg.Ops]}
+}
+
+// Graph emits a pointer-chase over a random adjacency structure with
+// occasional rank-style updates: the graph-algorithm shape (§I).
+func Graph(cfg Config, degree int) *Stream {
+	cfg.validate()
+	if degree <= 0 {
+		panic("workload: degree must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	slots := cfg.slots()
+	// Deterministic pseudo-adjacency: successor(v, e) = hash(v, e) % slots.
+	succ := func(v uint64, e int) uint64 {
+		h := v*0x9E3779B97F4A7C15 + uint64(e)*0xBF58476D1CE4E5B9
+		h ^= h >> 31
+		return h % slots
+	}
+	v := uint64(rng.Int63n(int64(slots)))
+	ops := make([]Op, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		// Visit: read the vertex, read its neighbours, update its rank.
+		ops = append(ops, Op{Kind: OpRead, Addr: blockAddr(0, slots, v)})
+		next := v
+		for e := 0; e < degree && len(ops) < cfg.Ops; e++ {
+			n := succ(v, e)
+			ops = append(ops, Op{Kind: OpRead, Addr: blockAddr(0, slots, n)})
+			if e == 0 {
+				next = n
+			}
+		}
+		if len(ops) < cfg.Ops {
+			a := blockAddr(0, slots, v)
+			ops = append(ops, Op{Kind: OpWrite, Addr: a})
+			ops = maybePersist(ops, a, rng, cfg.PersistPercent)
+		}
+		v = next
+	}
+	return &Stream{Name: "graph", Ops: ops[:cfg.Ops]}
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func base() Config {
+	return Config{Ops: 2000, WorkingSet: 1 << 20, Seed: 1, PersistPercent: 25}
+}
+
+func generators() map[string]func(Config) *Stream {
+	return map[string]func(Config) *Stream{
+		"sequential": Sequential,
+		"uniform":    Uniform,
+		"zipf":       func(c Config) *Stream { return Zipf(c, 1.2) },
+		"kv":         func(c Config) *Stream { return KVStore(c, 4) },
+		"txlog":      func(c Config) *Stream { return TxLog(c, 2, 4) },
+		"graph":      func(c Config) *Stream { return Graph(c, 3) },
+	}
+}
+
+func TestGeneratorsProduceValidStreams(t *testing.T) {
+	for name, gen := range generators() {
+		t.Run(name, func(t *testing.T) {
+			s := gen(base())
+			if len(s.Ops) != base().Ops {
+				t.Fatalf("ops = %d, want %d", len(s.Ops), base().Ops)
+			}
+			r, w, p := s.Stats()
+			if r+w+p != len(s.Ops) {
+				t.Error("stats do not add up")
+			}
+			if r == 0 && name != "kv" {
+				t.Error("no reads")
+			}
+			if w == 0 {
+				t.Error("no writes")
+			}
+			for _, op := range s.Ops {
+				if op.Addr%64 != 0 {
+					t.Fatalf("unaligned address %#x", op.Addr)
+				}
+				if op.Addr >= base().WorkingSet {
+					t.Fatalf("address %#x outside working set", op.Addr)
+				}
+			}
+			if s.String() == "" {
+				t.Error("empty description")
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministicBySeed(t *testing.T) {
+	for name, gen := range generators() {
+		a, b := gen(base()), gen(base())
+		for i := range a.Ops {
+			if a.Ops[i] != b.Ops[i] {
+				t.Fatalf("%s: same seed diverged at op %d", name, i)
+			}
+		}
+		c := base()
+		c.Seed = 2
+		d := gen(c)
+		same := true
+		for i := range a.Ops {
+			if a.Ops[i] != d.Ops[i] {
+				same = false
+				break
+			}
+		}
+		if same && name != "sequential" { // sequential ignores the rng for addresses
+			t.Errorf("%s: different seeds produced identical streams", name)
+		}
+	}
+}
+
+func TestPersistRatioRespected(t *testing.T) {
+	cfg := base()
+	cfg.PersistPercent = 0
+	if _, _, p := Uniform(cfg).Stats(); p != 0 {
+		t.Error("persists emitted at 0%")
+	}
+	cfg.PersistPercent = 100
+	_, w, p := Uniform(cfg).Stats()
+	if p < w*9/10 {
+		t.Errorf("persists %d far below writes %d at 100%%", p, w)
+	}
+}
+
+func TestPersistFollowsWriteToSameAddress(t *testing.T) {
+	cfg := base()
+	cfg.PersistPercent = 100
+	for name, gen := range generators() {
+		s := gen(cfg)
+		written := make(map[uint64]bool)
+		for i, op := range s.Ops {
+			switch op.Kind {
+			case OpWrite:
+				written[op.Addr] = true
+			case OpPersist:
+				if !written[op.Addr] {
+					t.Fatalf("%s: persist of never-written address %#x at op %d", name, op.Addr, i)
+				}
+			}
+		}
+	}
+}
+
+func TestZipfSkewsAccesses(t *testing.T) {
+	cfg := base()
+	cfg.Ops = 20000
+	s := Zipf(cfg, 1.5)
+	counts := make(map[uint64]int)
+	for _, op := range s.Ops {
+		counts[op.Addr]++
+	}
+	// The hottest block must take far more than its uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniformShare := cfg.Ops / int(cfg.WorkingSet/64)
+	if max < 20*uniformShare {
+		t.Errorf("hottest block %d accesses, uniform share %d: not skewed", max, uniformShare)
+	}
+}
+
+func TestSequentialIsSequential(t *testing.T) {
+	cfg := base()
+	cfg.PersistPercent = 0
+	s := Sequential(cfg)
+	// Reads must walk consecutive blocks.
+	var lastRead uint64
+	first := true
+	for _, op := range s.Ops {
+		if op.Kind != OpRead {
+			continue
+		}
+		if !first && op.Addr != lastRead+64 && op.Addr != 0 {
+			t.Fatalf("non-sequential read at %#x after %#x", op.Addr, lastRead)
+		}
+		lastRead, first = op.Addr, false
+	}
+}
+
+func TestPanicsOnBadShape(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zipf skew":   func() { Zipf(base(), 1.0) },
+		"kv value":    func() { KVStore(base(), 0) },
+		"graph deg":   func() { Graph(base(), 0) },
+		"tx record":   func() { TxLog(base(), 0, 1) },
+		"bad persist": func() { c := base(); c.PersistPercent = 101; Uniform(c) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every generator, under arbitrary small configs, emits exactly
+// cfg.Ops aligned in-range operations.
+func TestGeneratorBoundsProperty(t *testing.T) {
+	f := func(opsRaw uint8, wsRaw uint8, seed int64) bool {
+		cfg := Config{
+			Ops:            int(opsRaw)%500 + 1,
+			WorkingSet:     (uint64(wsRaw)%64 + 1) * 4096,
+			Seed:           seed,
+			PersistPercent: int(seed % 101 & 0x7f % 101),
+		}
+		if cfg.PersistPercent < 0 {
+			cfg.PersistPercent = 0
+		}
+		for _, gen := range generators() {
+			s := gen(cfg)
+			if len(s.Ops) != cfg.Ops {
+				return false
+			}
+			for _, op := range s.Ops {
+				if op.Addr%64 != 0 || op.Addr >= cfg.WorkingSet {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package horus
+
+import (
+	"repro/internal/recovery"
+	"repro/internal/sim"
+)
+
+// Time is a simulated duration/timestamp in picoseconds (re-exported).
+type Time = sim.Time
+
+// RecoverSerial performs only the CHV read-back with the paper's
+// conservative single-stream model (Fig. 16) and returns its duration.
+// The system must be crashed; the hierarchy is not refilled.
+func RecoverSerial(sys *System, ps PersistentState) (Time, error) {
+	res, err := recovery.RecoverHorusOpts(sys.Core, ps, recovery.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.RecoveryTime, nil
+}
+
+// RecoverParallel performs the CHV read-back with bank-parallel group
+// chains (an extension beyond the paper's estimate) and returns its
+// duration.
+func RecoverParallel(sys *System, ps PersistentState) (Time, error) {
+	res, err := recovery.RecoverHorusOpts(sys.Core, ps, recovery.Options{BankParallel: true})
+	if err != nil {
+		return 0, err
+	}
+	return res.RecoveryTime, nil
+}

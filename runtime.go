@@ -1,0 +1,172 @@
+package horus
+
+import (
+	"fmt"
+
+	"repro/internal/bmt"
+	"repro/internal/cme"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/recovery"
+	"repro/internal/runsim"
+	"repro/internal/secmem"
+	"repro/internal/workload"
+)
+
+// Block is a 64-byte memory block (re-exported).
+type Block = mem.Block
+
+// PersistDomain selects the persistence boundary of a run-time machine.
+type PersistDomain = runsim.PersistDomain
+
+// Persistence domains (§II-A): ADR backs only the memory-controller write
+// queue, EPD (eADR) backs the whole cache hierarchy.
+const (
+	DomainADR    = runsim.DomainADR
+	DomainEPD    = runsim.DomainEPD
+	DomainADRWPQ = runsim.DomainADRWPQ
+	DomainBBB    = runsim.DomainBBB
+)
+
+// Workload is a deterministic, replayable memory-operation stream.
+type Workload = workload.Stream
+
+// WorkloadConfig bounds a workload generator.
+type WorkloadConfig = workload.Config
+
+// RunStats aggregates a run-time machine's event counts and elapsed time.
+type RunStats = runsim.Stats
+
+// Workload generators: the application classes the paper's introduction
+// motivates EPD with (§I), re-exported from the workload package.
+var (
+	// SequentialWorkload is a scan-shaped read-modify-write sweep
+	// (analytical/in-memory analytics).
+	SequentialWorkload = workload.Sequential
+	// UniformWorkload is uniformly random 50/50 read/write traffic.
+	UniformWorkload = workload.Uniform
+	// ZipfWorkload is zipf-skewed read-mostly traffic (key-value store).
+	ZipfWorkload = workload.Zipf
+	// KVStoreWorkload is put/get traffic over multi-block values with
+	// per-object persists.
+	KVStoreWorkload = workload.KVStore
+	// TxLogWorkload is a write-ahead-logging transactional shape.
+	TxLogWorkload = workload.TxLog
+	// GraphWorkload is pointer-chasing with rank updates.
+	GraphWorkload = workload.Graph
+)
+
+// WorkloadSystem couples a run-time machine (core + cache hierarchy over
+// the secure NVM) with the EPD drain and recovery machinery, closing the
+// full lifecycle: run a workload, crash, drain, recover, resume.
+type WorkloadSystem struct {
+	Config  Config
+	Scheme  Scheme
+	Domain  PersistDomain
+	Core    *core.System
+	Machine *runsim.Machine
+
+	drainer *core.Drainer
+}
+
+// NewWorkloadSystem builds a run-time machine for the given drain design
+// and persistence domain. The cache hierarchy is the config's hierarchy;
+// secure schemes route all memory traffic through the secure controller.
+func NewWorkloadSystem(cfg Config, scheme Scheme, domain PersistDomain) *WorkloadSystem {
+	hcfg := cfg.hierarchyConfig()
+	lines := uint64(hcfg.TotalLines())
+	metaLines := uint64((cfg.Sec.CounterCacheBytes + cfg.Sec.MACCacheBytes + cfg.Sec.TreeCacheBytes) / mem.BlockSize)
+	lay := bmt.NewLayout(bmt.Config{
+		DataSize:    cfg.DataSize,
+		CHVCapacity: lines + 64,
+		CHVRegions:  uint64(cfg.CHVRegions),
+		VaultBlocks: metaLines*2 + 32,
+	})
+	nvm := mem.NewController(cfg.Mem)
+	enc := cme.NewEngine(cfg.KeySeed)
+	var sec *secmem.Controller
+	if scheme.Secure() {
+		scfg := cfg.Sec
+		scfg.Scheme = scheme.RuntimeScheme()
+		sec = secmem.New(scfg, lay, enc, nvm)
+	}
+	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec}
+	machine := runsim.New(runsim.Config{
+		Hierarchy: hcfg,
+		Domain:    domain,
+		ClockHz:   cfg.Sec.ClockHz,
+	}, sec, nvm)
+	return &WorkloadSystem{
+		Config:  cfg,
+		Scheme:  scheme,
+		Domain:  domain,
+		Core:    cs,
+		Machine: machine,
+		drainer: core.NewDrainer(scheme, cs, 0),
+	}
+}
+
+// Run executes a workload stream on the machine.
+func (ws *WorkloadSystem) Run(s *Workload) error { return ws.Machine.Run(s) }
+
+// Stats returns the machine's run-time statistics.
+func (ws *WorkloadSystem) Stats() RunStats { return ws.Machine.Stats() }
+
+// CrashAndDrain simulates an outage at the current instant: the dirty
+// hierarchy state is drained under the configured scheme, then the
+// volatile state is lost. It returns the drain result and the pre-crash
+// golden contents (for post-recovery verification).
+func (ws *WorkloadSystem) CrashAndDrain() (Result, map[uint64]mem.Block, error) {
+	golden := ws.Machine.Golden()
+	blocks := ws.Machine.DirtyBlocks()
+	res, err := ws.drainer.Drain(blocks)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	ws.Machine.Crash()
+	if ws.Core.Sec != nil {
+		ws.Core.Sec.Crash()
+	}
+	return res, golden, nil
+}
+
+// Recover restores the machine after a crash: for Horus schemes the
+// metadata vault and the CHV are verified and the recovered lines are
+// written back into the machine's hierarchy as dirty state; for baselines
+// the metadata vault alone suffices (data drained in place).
+func (ws *WorkloadSystem) Recover(ps PersistentState) (RecoveryReport, error) {
+	switch {
+	case ps.Scheme.UsesCHV():
+		report := RecoveryReport{}
+		// Power restore: timing starts on a fresh clock (the drain's bank
+		// reservations belong to the previous power session).
+		ws.Core.NVM.ResetStats()
+		ws.Core.Sec.ResetStats()
+		if ps.Vault.Count > 0 {
+			vres, err := recovery.RestoreMetadataVault(ws.Core, ps.Vault)
+			if err != nil {
+				return RecoveryReport{}, err
+			}
+			report.Baseline = &vres
+		}
+		res, err := recovery.RecoverHorus(ws.Core, ps)
+		if err != nil {
+			return RecoveryReport{}, err
+		}
+		for _, b := range res.Blocks {
+			if err := ws.Machine.Write(b.Addr, b.Data); err != nil {
+				return RecoveryReport{}, fmt.Errorf("horus: refill after recovery: %w", err)
+			}
+		}
+		report.Horus = &res
+		return report, nil
+	case ps.Scheme.Secure():
+		res, err := recovery.RecoverBaseline(ws.Core, ps)
+		if err != nil {
+			return RecoveryReport{}, err
+		}
+		return RecoveryReport{Baseline: &res}, nil
+	default:
+		return RecoveryReport{}, nil
+	}
+}
