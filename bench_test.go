@@ -513,3 +513,29 @@ func BenchmarkMicroHorusDrainPerBlock(b *testing.B) {
 	}
 	_ = blocks
 }
+
+// --------------------------------------------------------------------------
+// Observability overhead guard: the nil-registry fast path of the
+// instrumentation added for the obs subsystem must stay within noise of the
+// pre-instrumentation hot loop (<5% on the Fig. 11 drain path). Compare:
+//
+//	go test -bench=ObsOverhead -benchtime=5x
+//
+// "disabled" runs with cfg.Metrics == nil (every handle is a nil no-op);
+// "enabled" attaches a live registry so the cost of real recording is
+// visible next to it.
+
+func benchmarkObsOverhead(b *testing.B, reg *MetricsRegistry) {
+	cfg := TestConfig()
+	cfg.Metrics = reg
+	for i := 0; i < b.N; i++ {
+		if _, err := RunDrain(cfg, HorusSLM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsDisabledOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) { benchmarkObsOverhead(b, nil) })
+	b.Run("enabled", func(b *testing.B) { benchmarkObsOverhead(b, NewMetricsRegistry()) })
+}

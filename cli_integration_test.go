@@ -1,6 +1,7 @@
 package horus_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -64,6 +65,67 @@ func TestCLIs(t *testing.T) {
 		}
 		if !strings.Contains(string(b), "chv-data") {
 			t.Error("trace missing CHV events")
+		}
+	})
+
+	t.Run("drain-metrics", func(t *testing.T) {
+		prom := filepath.Join(t.TempDir(), "m.prom")
+		out := run(t, bins["horus-drain"], "-scale", "test", "-scheme", "horus-slm", "-metrics", prom)
+		if !strings.Contains(out, "Lifecycle spans") {
+			t.Errorf("drain output missing span tree:\n%s", out)
+		}
+		b, err := os.ReadFile(prom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(b)
+		for _, want := range []string{
+			"# TYPE horus_mem_bank_utilization gauge",
+			`horus_mem_bank_utilization{bank="0",phase="drain",scheme="Horus-SLM"}`,
+			"# TYPE horus_span_duration_ps_total counter",
+			`horus_span_duration_ps_total{path="drain"}`,
+			`horus_span_duration_ps_total{path="drain/flush-blocks"}`,
+			`horus_drain_time_ps{scheme="Horus-SLM"}`,
+			`horus_sec_engine_utilization{engine="aes"`,
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("prom snapshot missing %q", want)
+			}
+		}
+	})
+
+	t.Run("recover-metrics-json", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "m.json")
+		run(t, bins["horus-recover"], "-scheme", "horus-dlm", "-metrics", path, "-metrics-format", "json")
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			Counters []struct {
+				Name string `json:"name"`
+			} `json:"counters"`
+			Gauges []struct {
+				Name string `json:"name"`
+			} `json:"gauges"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		}
+		if err := json.Unmarshal(b, &snap); err != nil {
+			t.Fatalf("snapshot not valid JSON: %v", err)
+		}
+		if len(snap.Counters) == 0 || len(snap.Gauges) == 0 {
+			t.Errorf("JSON snapshot sparse: %d counters, %d gauges", len(snap.Counters), len(snap.Gauges))
+		}
+		names := map[string]bool{}
+		for _, s := range snap.Spans {
+			names[s.Name] = true
+		}
+		for _, want := range []string{"run", "drain", "recover"} {
+			if !names[want] {
+				t.Errorf("JSON snapshot missing top-level span %q (have %v)", want, names)
+			}
 		}
 	})
 

@@ -33,6 +33,7 @@ func main() {
 		traceFile   = flag.String("trace", "", "write a CSV trace of every memory access to this file")
 		traceLimit  = flag.Int("trace-limit", 2_000_000, "maximum trace events retained (0 = unlimited)")
 	)
+	mf := cliutil.AddMetricsFlags()
 	flag.Parse()
 
 	cfg, err := cliutil.ParseScale(*scaleFlag)
@@ -48,12 +49,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.Metrics = mf.Registry()
 
 	sys := horus.NewSystem(cfg, scheme)
 	var rec *trace.Recorder
 	if *traceFile != "" {
 		rec = trace.NewRecorder(*traceLimit)
-		sys.Core.NVM.SetObserver(rec)
+		sys.Core.NVM.AddObserver(rec)
 	}
 	if err := sys.Warmup(); err != nil {
 		fatal(err)
@@ -67,6 +69,14 @@ func main() {
 		fatal(err)
 	}
 	printResult(cfg, res, *verbose)
+	if mf.Enabled() {
+		fmt.Println()
+		report.SpanTree(cfg.Metrics).Fprint(os.Stdout)
+		if err := mf.Write(cfg.Metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics:        %s snapshot to %s\n", mf.Format, mf.Path)
+	}
 	if rec != nil {
 		f, err := os.Create(*traceFile)
 		if err != nil {

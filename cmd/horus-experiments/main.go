@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	horus "repro"
+	"repro/internal/cliutil"
 	"repro/internal/report"
 )
 
@@ -28,6 +29,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "fill/flush seed")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 	)
+	mf := cliutil.AddMetricsFlags()
 	flag.Parse()
 	emitCSVTo = *csvDir
 
@@ -41,6 +43,7 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
 	}
 	cfg.Seed = *seed
+	cfg.Metrics = mf.Registry()
 
 	want := strings.Split(*expFlag, ",")
 	has := func(name string) bool {
@@ -134,6 +137,13 @@ func main() {
 			TimeReduction: float64(lu.DrainTime) / float64(slm.DrainTime),
 		}
 		emit(h.Table())
+	}
+	if mf.Enabled() {
+		emit(report.SpanTree(cfg.Metrics))
+		if err := mf.Write(cfg.Metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: %s snapshot to %s\n", mf.Format, mf.Path)
 	}
 }
 

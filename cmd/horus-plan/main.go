@@ -18,6 +18,7 @@ import (
 	"os"
 
 	horus "repro"
+	"repro/internal/cliutil"
 	"repro/internal/report"
 )
 
@@ -28,12 +29,14 @@ func main() {
 		banks    = flag.Int("banks", 16, "NVM banks")
 		validate = flag.Bool("validate", false, "also run the simulator and report estimate error (slow)")
 	)
+	mf := cliutil.AddMetricsFlags()
 	flag.Parse()
 
 	cfg := horus.DefaultConfig()
 	cfg.LLCBytes = *llcMB << 20
 	cfg.DataSize = uint64(*memGB) << 30
 	cfg.Mem.Banks = *banks
+	cfg.Metrics = mf.Registry()
 
 	t := &report.Table{
 		Title: fmt.Sprintf("EPD battery plan: %d MB LLC over %d GB NVM (%d banks)",
@@ -72,4 +75,12 @@ func main() {
 			fmt.Sprintf("%+.0f%%", errPct))
 	}
 	v.Fprint(os.Stdout)
+	if mf.Enabled() {
+		report.SpanTree(cfg.Metrics).Fprint(os.Stdout)
+		if err := mf.Write(cfg.Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "horus-plan:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: %s snapshot to %s\n", mf.Format, mf.Path)
+	}
 }

@@ -28,6 +28,7 @@ func main() {
 		scaleFlag  = flag.String("scale", "test", "test | paper")
 		seed       = flag.Int64("seed", 1, "fill seed")
 	)
+	mf := cliutil.AddMetricsFlags()
 	flag.Parse()
 
 	cfg := horus.TestConfig()
@@ -35,6 +36,7 @@ func main() {
 		cfg = horus.DefaultConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Metrics = mf.Registry()
 	scheme, err := cliutil.ParseScheme(*schemeFlag)
 	if err != nil {
 		fatal(err)
@@ -64,6 +66,18 @@ func main() {
 		fmt.Printf("attacker modified NVM while power was out (%s)\n", *attackFlag)
 	}
 
+	writeMetrics := func() {
+		if !mf.Enabled() {
+			return
+		}
+		fmt.Println()
+		report.SpanTree(cfg.Metrics).Fprint(os.Stdout)
+		if err := mf.Write(cfg.Metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: %s snapshot to %s\n", mf.Format, mf.Path)
+	}
+
 	rec, err := sys.Recover(res.Persist)
 	var rerr *horus.RecoveryError
 	switch {
@@ -73,6 +87,7 @@ func main() {
 			os.Exit(1) // should never refuse an untouched image
 		}
 		fmt.Println("attack detected — compromised state was not restored")
+		writeMetrics()
 		return
 	case err != nil:
 		fatal(err)
@@ -95,6 +110,7 @@ func main() {
 	} else {
 		fmt.Printf("metadata-cache vault re-installed (%d lines); in-place data verifies\n", res.Persist.Vault.Count)
 	}
+	writeMetrics()
 }
 
 func inject(sys *horus.System, res horus.Result, attack string) error {

@@ -32,9 +32,11 @@ func main() {
 		crash      = flag.Bool("crash", false, "crash after the run, drain, and recover")
 		compare    = flag.Bool("compare-domains", false, "run on both ADR and EPD and compare")
 	)
+	mf := cliutil.AddMetricsFlags()
 	flag.Parse()
 
 	cfg := horus.TestConfig()
+	cfg.Metrics = mf.Registry()
 	wl, err := cliutil.MakeWorkload(*wlFlag, horus.WorkloadConfig{
 		Ops: *ops, WorkingSet: uint64(*wsKB) << 10, Seed: *seed, PersistPercent: *persist,
 	})
@@ -63,6 +65,7 @@ func main() {
 		}
 		t.AddNote("EPD speedup over ADR: %.2fx; WPQ recovers %.0f%% of the gap", times[0]/times[2], 100*(times[0]-times[1])/(times[0]-times[2]))
 		t.Fprint(os.Stdout)
+		writeMetrics(mf, cfg.Metrics)
 		return
 	}
 
@@ -84,6 +87,7 @@ func main() {
 		report.Count(st.Persists), report.Count(st.PersistFlush), report.Count(st.PersistElided))
 
 	if !*crash {
+		writeMetrics(mf, cfg.Metrics)
 		return
 	}
 	res, golden, err := ws.CrashAndDrain()
@@ -104,6 +108,20 @@ func main() {
 		}
 	}
 	fmt.Printf("recovered in %v; verified %d/%d pre-crash values\n", rec.Time(), ok, len(golden))
+	writeMetrics(mf, cfg.Metrics)
+}
+
+// writeMetrics prints the span tree and exports the snapshot when enabled.
+func writeMetrics(mf *cliutil.MetricsFlags, reg *horus.MetricsRegistry) {
+	if !mf.Enabled() {
+		return
+	}
+	fmt.Println()
+	report.SpanTree(reg).Fprint(os.Stdout)
+	if err := mf.Write(reg); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics: %s snapshot to %s\n", mf.Format, mf.Path)
 }
 
 func runOn(cfg horus.Config, scheme horus.Scheme, d horus.PersistDomain, wl *horus.Workload) (horus.RunStats, error) {

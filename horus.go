@@ -33,10 +33,21 @@ import (
 	"repro/internal/energy"
 	"repro/internal/hierarchy"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/secmem"
 	"repro/internal/sim"
 )
+
+// MetricsRegistry collects counters, gauges, histograms and lifecycle spans
+// from every layer of a simulated machine (re-exported from internal/obs).
+// Attach one via Config.Metrics and export it with WritePrometheus or
+// WriteJSON after the episode. All instrumentation is nil-safe: a nil
+// registry costs one pointer check per event.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // Scheme identifies a draining design (re-exported from the core package).
 type Scheme = core.Scheme
@@ -104,6 +115,10 @@ type Config struct {
 	KeySeed uint64
 	// Energy holds the Table II/III energy-model constants.
 	Energy energy.Params
+	// Metrics, when non-nil, receives counters, utilization gauges,
+	// latency histograms and lifecycle spans from every layer of the
+	// simulated machine. Leave nil to disable instrumentation entirely.
+	Metrics *MetricsRegistry
 }
 
 // DefaultConfig returns the paper's Table I configuration at full scale:
@@ -183,7 +198,9 @@ func NewSystem(cfg Config, scheme Scheme) *System {
 	scfg := cfg.Sec
 	scfg.Scheme = scheme.RuntimeScheme()
 	sec := secmem.New(scfg, lay, enc, nvm)
-	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec}
+	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec, Metrics: cfg.Metrics}
+	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String())
+	sec.SetMetrics(cfg.Metrics, "scheme", scheme.String())
 	return &System{
 		Config:    cfg,
 		Scheme:    scheme,
@@ -204,6 +221,8 @@ func (s *System) Warmup() error {
 	rng := rand.New(rand.NewSource(s.Config.Seed ^ 0x77a4))
 	var now sim.Time
 	var data mem.Block
+	span := s.Core.Metrics.StartSpan("run", 0)
+	defer func() { span.EndAt(int64(now)) }()
 	blocks := s.Config.DataSize / mem.BlockSize
 	for i := 0; i < s.Config.WarmupWrites; i++ {
 		addr := uint64(rng.Int63n(int64(blocks))) * mem.BlockSize
@@ -258,6 +277,8 @@ func (s *System) Drain() (Result, error) {
 // Crash models the loss of power after a drain: cache hierarchy and
 // volatile metadata state vanish; NVM and persistent registers survive.
 func (s *System) Crash() {
+	// Zero-length marker: power loss is instantaneous in the model.
+	s.Core.Metrics.RecordSpan("crash", 0, 0)
 	s.Hierarchy.Clear()
 	s.filled = false
 	if s.Core.Sec != nil {
@@ -292,6 +313,15 @@ func (r RecoveryReport) Time() sim.Time {
 // the hierarchy; for baselines, the metadata-cache vault is verified and
 // re-installed in the controller.
 func (s *System) Recover(ps PersistentState) (RecoveryReport, error) {
+	span := s.Core.Metrics.StartSpan("recover", 0)
+	report, err := s.recoverFrom(ps)
+	// The vault restore and the CHV read-back run on separate phase-local
+	// clocks; the parent span spans their combined duration.
+	span.EndAt(int64(report.Time()))
+	return report, err
+}
+
+func (s *System) recoverFrom(ps PersistentState) (RecoveryReport, error) {
 	switch {
 	case ps.Scheme.UsesCHV():
 		report := RecoveryReport{}

@@ -3,11 +3,65 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"strings"
 
 	horus "repro"
 )
+
+// MetricsFlags bundles the -metrics / -metrics-format flags shared by the
+// horus commands.
+type MetricsFlags struct {
+	Path   string
+	Format string
+}
+
+// AddMetricsFlags registers the shared metrics flags on the default flag
+// set; call before flag.Parse.
+func AddMetricsFlags() *MetricsFlags {
+	mf := &MetricsFlags{}
+	flag.StringVar(&mf.Path, "metrics", "", "write a metrics snapshot (counters, utilization, lifecycle spans) to this file")
+	flag.StringVar(&mf.Format, "metrics-format", "prom", "metrics file format: prom (Prometheus text exposition) | json")
+	return mf
+}
+
+// Enabled reports whether metrics output was requested.
+func (mf *MetricsFlags) Enabled() bool { return mf.Path != "" }
+
+// Registry returns a fresh registry when -metrics was given, else nil
+// (instrumentation disabled, zero overhead).
+func (mf *MetricsFlags) Registry() *horus.MetricsRegistry {
+	if !mf.Enabled() {
+		return nil
+	}
+	return horus.NewMetricsRegistry()
+}
+
+// Write exports the registry to the configured path in the configured
+// format. No-op when metrics output is disabled.
+func (mf *MetricsFlags) Write(reg *horus.MetricsRegistry) error {
+	if !mf.Enabled() || reg == nil {
+		return nil
+	}
+	f, err := os.Create(mf.Path)
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(mf.Format) {
+	case "", "prom", "prometheus":
+		err = reg.WritePrometheus(f)
+	case "json":
+		err = reg.WriteJSON(f)
+	default:
+		err = fmt.Errorf("unknown metrics format %q (want prom|json)", mf.Format)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // ParseScheme maps a user-facing name to a drain design. Accepted forms:
 // non-secure/ns, base-lu/lu, base-eu/eu, horus-slm/slm, horus-dlm/dlm.

@@ -1,6 +1,9 @@
 package mem
 
 import (
+	"strconv"
+
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -62,11 +65,73 @@ type Controller struct {
 	// the traffic counters it is never reset (cell wear is permanent).
 	wear map[uint64]int64
 
-	obs Observer // optional access tracer
+	observers []Observer     // access tracers, notified in registration order
+	m         *accessMetrics // optional per-access instrumentation
 }
 
-// SetObserver installs (or clears, with nil) an access observer.
-func (c *Controller) SetObserver(o Observer) { c.obs = o }
+// AddObserver appends an access observer. Observers are notified of every
+// timed access in the order they were added; a nil observer is ignored.
+func (c *Controller) AddObserver(o Observer) {
+	if o != nil {
+		c.observers = append(c.observers, o)
+	}
+}
+
+// SetObserver replaces all observers with o (or removes them all, with nil).
+//
+// Deprecated: use AddObserver; SetObserver remains for callers that relied
+// on the original single-slot semantics.
+func (c *Controller) SetObserver(o Observer) {
+	c.observers = c.observers[:0]
+	c.AddObserver(o)
+}
+
+// accessMetrics caches metric handles so the per-access hot path does no
+// registry lookups. Per-category counters are filled lazily (the simulator
+// is single-threaded per controller).
+type accessMetrics struct {
+	reg    *obs.Registry
+	labels []string
+
+	bankWait   *obs.Histogram
+	busWait    *obs.Histogram
+	queueDepth *obs.Histogram
+	readCtr    map[Category]*obs.Counter
+	writeCtr   map[Category]*obs.Counter
+}
+
+func (m *accessMetrics) counter(set map[Category]*obs.Counter, name string, cat Category) *obs.Counter {
+	ctr, ok := set[cat]
+	if !ok {
+		ctr = m.reg.Counter(name, append([]string{"category", string(cat)}, m.labels...)...)
+		set[cat] = ctr
+	}
+	return ctr
+}
+
+// SetMetrics attaches the controller to a metrics registry (nil detaches).
+// The extra labels (alternating key, value — e.g. "scheme", "Horus-SLM")
+// are applied to every series the controller emits.
+func (c *Controller) SetMetrics(reg *obs.Registry, labels ...string) {
+	if reg == nil {
+		c.m = nil
+		return
+	}
+	reg.SetHelp("horus_mem_reads_total", "NVM read accesses by category.")
+	reg.SetHelp("horus_mem_writes_total", "NVM write accesses by category.")
+	reg.SetHelp("horus_mem_bank_wait_ps", "Per-access bank queueing delay in picoseconds.")
+	reg.SetHelp("horus_mem_bus_wait_ps", "Per-access command/data-bus queueing delay in picoseconds.")
+	reg.SetHelp("horus_mem_bank_queue_depth", "Approximate bank queue depth (wait divided by service latency) at access issue.")
+	c.m = &accessMetrics{
+		reg:        reg,
+		labels:     labels,
+		bankWait:   reg.Histogram("horus_mem_bank_wait_ps", obs.LatencyBuckets, labels...),
+		busWait:    reg.Histogram("horus_mem_bus_wait_ps", obs.LatencyBuckets, labels...),
+		queueDepth: reg.Histogram("horus_mem_bank_queue_depth", obs.DepthBuckets, labels...),
+		readCtr:    make(map[Category]*obs.Counter),
+		writeCtr:   make(map[Category]*obs.Counter),
+	}
+}
 
 // NewController returns a controller over a fresh store.
 func NewController(cfg Config) *Controller {
@@ -106,10 +171,16 @@ func (c *Controller) bankOf(addr uint64) int {
 // begins no earlier than ready; the returned time is when data is available.
 func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim.Time) {
 	c.reads.Add(string(cat), 1)
-	_, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
-	_, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.ReadLatency)
-	if c.obs != nil {
-		c.obs.OnAccess("read", done, addr, string(cat))
+	busStart, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
+	bankStart, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.ReadLatency)
+	if c.m != nil {
+		c.m.counter(c.m.readCtr, "horus_mem_reads_total", cat).Add(1)
+		c.m.busWait.Observe(float64(busStart - ready))
+		c.m.bankWait.Observe(float64(bankStart - busDone))
+		c.m.queueDepth.Observe(float64(bankStart-busDone) / float64(c.cfg.ReadLatency))
+	}
+	for _, o := range c.observers {
+		o.OnAccess("read", done, addr, string(cat))
 	}
 	return c.store.ReadBlock(addr), done
 }
@@ -119,10 +190,16 @@ func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim
 func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) sim.Time {
 	c.writes.Add(string(cat), 1)
 	c.wear[addr]++
-	_, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
-	_, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.WriteLatency)
-	if c.obs != nil {
-		c.obs.OnAccess("write", done, addr, string(cat))
+	busStart, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
+	bankStart, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.WriteLatency)
+	if c.m != nil {
+		c.m.counter(c.m.writeCtr, "horus_mem_writes_total", cat).Add(1)
+		c.m.busWait.Observe(float64(busStart - ready))
+		c.m.bankWait.Observe(float64(bankStart - busDone))
+		c.m.queueDepth.Observe(float64(bankStart-busDone) / float64(c.cfg.WriteLatency))
+	}
+	for _, o := range c.observers {
+		o.OnAccess("write", done, addr, string(cat))
 	}
 	c.store.WriteBlock(addr, b)
 	return done
@@ -198,6 +275,38 @@ func (c *Controller) LastDone() sim.Time {
 		t = sim.MaxTime(t, b.FreeAt())
 	}
 	return sim.MaxTime(t, c.bus.FreeAt())
+}
+
+// PublishMetrics snapshots per-bank and bus occupancy into the attached
+// registry as gauges labelled with the given phase ("run", "drain",
+// "recover", ...). window is the phase duration used for utilisation; if
+// zero or negative, LastDone() is used. Because timing statistics are reset
+// at phase boundaries, each publish describes exactly one phase. No-op when
+// no registry is attached.
+func (c *Controller) PublishMetrics(phase string, window sim.Time) {
+	if c.m == nil {
+		return
+	}
+	if window <= 0 {
+		window = c.LastDone()
+	}
+	reg := c.m.reg
+	reg.SetHelp("horus_mem_bank_busy_ps", "Bank occupied time within the phase, picoseconds.")
+	reg.SetHelp("horus_mem_bank_utilization", "Bank occupied fraction of the phase window.")
+	reg.SetHelp("horus_mem_bank_ops", "Operations served by the bank within the phase.")
+	reg.SetHelp("horus_mem_bus_utilization", "Command/data-bus occupied fraction of the phase window.")
+	for i, b := range c.banks {
+		lbl := append([]string{"bank", strconv.Itoa(i), "phase", phase}, c.m.labels...)
+		reg.Gauge("horus_mem_bank_busy_ps", lbl...).Set(float64(b.BusyTime()))
+		reg.Gauge("horus_mem_bank_ops", lbl...).Set(float64(b.Ops()))
+		if window > 0 {
+			reg.Gauge("horus_mem_bank_utilization", lbl...).Set(float64(b.BusyTime()) / float64(window))
+		}
+	}
+	if window > 0 {
+		lbl := append([]string{"phase", phase}, c.m.labels...)
+		reg.Gauge("horus_mem_bus_utilization", lbl...).Set(float64(c.bus.BusyTime()) / float64(window))
+	}
 }
 
 // ResetStats clears timing state and counters but preserves memory content.

@@ -1,9 +1,11 @@
 package mem
 
 import (
+	"strconv"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -184,6 +186,89 @@ func TestControllerZeroBanksPanics(t *testing.T) {
 		}
 	}()
 	NewController(Config{Banks: 0})
+}
+
+// orderObserver records the order it was called in, shared across observers.
+type orderObserver struct {
+	id  int
+	log *[]int
+}
+
+func (o *orderObserver) OnAccess(kind string, done sim.Time, addr uint64, category string) {
+	*o.log = append(*o.log, o.id)
+}
+
+func TestObserverFanOutOrdering(t *testing.T) {
+	c := NewController(DefaultConfig())
+	var log []int
+	c.AddObserver(&orderObserver{1, &log})
+	c.AddObserver(&orderObserver{2, &log})
+	c.AddObserver(&orderObserver{3, &log})
+	c.AddObserver(nil) // ignored
+	c.Write(0, 0, Block{}, CatData)
+	c.Read(0, 0, CatData)
+	want := []int{1, 2, 3, 1, 2, 3}
+	if len(log) != len(want) {
+		t.Fatalf("fan-out calls = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("fan-out order = %v, want registration order %v", log, want)
+		}
+	}
+}
+
+func TestSetObserverReplacesAll(t *testing.T) {
+	c := NewController(DefaultConfig())
+	var log []int
+	c.AddObserver(&orderObserver{1, &log})
+	c.AddObserver(&orderObserver{2, &log})
+	// The deprecated single-slot setter replaces every registered observer.
+	c.SetObserver(&orderObserver{9, &log})
+	c.Write(0, 0, Block{}, CatData)
+	if len(log) != 1 || log[0] != 9 {
+		t.Fatalf("after SetObserver, calls = %v, want [9]", log)
+	}
+	c.SetObserver(nil)
+	c.Write(0, 64, Block{}, CatData)
+	if len(log) != 1 {
+		t.Fatal("SetObserver(nil) did not clear the observers")
+	}
+}
+
+func TestControllerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewController(DefaultConfig())
+	c.SetMetrics(reg, "scheme", "test")
+	c.Write(0, 0, Block{}, CatData)
+	c.Write(0, 64, Block{}, CatCounter)
+	c.Read(0, 0, CatData)
+	if got := reg.Counter("horus_mem_writes_total", "category", "data", "scheme", "test").Value(); got != 1 {
+		t.Errorf("data write counter = %d, want 1", got)
+	}
+	if got := reg.Counter("horus_mem_reads_total", "category", "data", "scheme", "test").Value(); got != 1 {
+		t.Errorf("data read counter = %d, want 1", got)
+	}
+	if got := reg.Histogram("horus_mem_bank_wait_ps", nil, "scheme", "test").Count(); got != 3 {
+		t.Errorf("bank wait observations = %d, want 3", got)
+	}
+	c.PublishMetrics("drain", c.LastDone())
+	found := false
+	for i := 0; i < c.Config().Banks; i++ {
+		g := reg.Gauge("horus_mem_bank_utilization", "bank", strconv.Itoa(i), "phase", "drain", "scheme", "test")
+		if g.Value() > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no bank reported positive utilization after PublishMetrics")
+	}
+	// Detaching stops recording without touching prior series.
+	c.SetMetrics(nil)
+	c.Write(0, 128, Block{}, CatData)
+	if got := reg.Counter("horus_mem_writes_total", "category", "data", "scheme", "test").Value(); got != 1 {
+		t.Errorf("detached controller still recorded: %d", got)
+	}
 }
 
 // Property: any sequence of writes followed by reads at the same addresses

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one TYPE comment per metric name, counters and
+// gauges as plain series, histograms as cumulative _bucket/_sum/_count
+// series, and the span tree aggregated by path into two series,
+// horus_span_duration_ps_total and horus_span_count. A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	entries := make([]*metricEntry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, r.metrics[k])
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	typed := map[string]bool{}
+	header := func(name string, kind Kind) {
+		if typed[name] {
+			return
+		}
+		typed[name] = true
+		if h, ok := help[name]; ok {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(h))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind)
+	}
+
+	// Group series of the same name behind one TYPE header, preserving
+	// first-registration order of names.
+	byName := map[string][]*metricEntry{}
+	var nameOrder []string
+	for _, e := range entries {
+		if _, ok := byName[e.name]; !ok {
+			nameOrder = append(nameOrder, e.name)
+		}
+		byName[e.name] = append(byName[e.name], e)
+	}
+	for _, name := range nameOrder {
+		for _, e := range byName[name] {
+			header(e.name, e.kind)
+			switch e.kind {
+			case KindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", e.name, labelString(e.labels, nil), e.counter.Value())
+			case KindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", e.name, labelString(e.labels, nil), formatFloat(e.gauge.Value()))
+			case KindHistogram:
+				writePromHistogram(&b, e)
+			}
+		}
+	}
+	writePromSpans(&b, r, typed)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram series set.
+func writePromHistogram(b *strings.Builder, e *metricEntry) {
+	bounds := e.hist.Bounds()
+	counts := e.hist.Counts()
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = formatFloat(bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", e.name, labelString(e.labels, []Label{{"le", le}}), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", e.name, labelString(e.labels, nil), formatFloat(e.hist.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", e.name, labelString(e.labels, nil), e.hist.Count())
+}
+
+// writePromSpans aggregates the span tree by path into duration/count
+// series so repeated phases (e.g. one drain per scheme) sum naturally.
+func writePromSpans(b *strings.Builder, r *Registry, typed map[string]bool) {
+	durations := map[string]int64{}
+	counts := map[string]int64{}
+	var order []string
+	r.WalkSpans(func(path string, s *Span) {
+		if _, ok := counts[path]; !ok {
+			order = append(order, path)
+		}
+		durations[path] += s.Duration()
+		counts[path]++
+	})
+	if len(order) == 0 {
+		return
+	}
+	if !typed["horus_span_duration_ps_total"] {
+		fmt.Fprintf(b, "# HELP horus_span_duration_ps_total Cumulative simulated time spent in each lifecycle phase, by span path.\n")
+		fmt.Fprintf(b, "# TYPE horus_span_duration_ps_total counter\n")
+	}
+	for _, p := range order {
+		fmt.Fprintf(b, "horus_span_duration_ps_total%s %d\n", labelString(nil, []Label{{"path", p}}), durations[p])
+	}
+	if !typed["horus_span_count"] {
+		fmt.Fprintf(b, "# TYPE horus_span_count counter\n")
+	}
+	for _, p := range order {
+		fmt.Fprintf(b, "horus_span_count%s %d\n", labelString(nil, []Label{{"path", p}}), counts[p])
+	}
+}
+
+// labelString renders {k="v",...} for the union of labels and extra (extra
+// appended last, e.g. the "le" bound).
+func labelString(labels, extra []Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, l := range append(append([]Label(nil), labels...), extra...) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot is the JSON-exportable state of a registry.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanSnapshot      `json:"spans,omitempty"`
+}
+
+// CounterSnapshot is one counter series.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSnapshot is one gauge series.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSnapshot is one histogram series with derived quantiles.
+type HistogramSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Bounds []float64         `json:"bounds"`
+	Counts []int64           `json:"counts"` // last entry is the +Inf bucket
+	Count  int64             `json:"count"`
+	Sum    float64           `json:"sum"`
+	Min    float64           `json:"min"`
+	Max    float64           `json:"max"`
+	P50    float64           `json:"p50"`
+	P90    float64           `json:"p90"`
+	P99    float64           `json:"p99"`
+}
+
+// SpanSnapshot is one span subtree.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	StartPs    int64          `json:"start_ps"`
+	EndPs      int64          `json:"end_ps"`
+	DurationPs int64          `json:"duration_ps"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot captures the registry state (empty snapshot on nil).
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	keys := append([]string(nil), r.order...)
+	entries := make([]*metricEntry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, r.metrics[k])
+	}
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		labels := labelMap(e.labels)
+		switch e.kind {
+		case KindCounter:
+			snap.Counters = append(snap.Counters, CounterSnapshot{e.name, labels, e.counter.Value()})
+		case KindGauge:
+			snap.Gauges = append(snap.Gauges, GaugeSnapshot{e.name, labels, e.gauge.Value()})
+		case KindHistogram:
+			h := e.hist
+			snap.Histograms = append(snap.Histograms, HistogramSnapshot{
+				Name: e.name, Labels: labels,
+				Bounds: h.Bounds(), Counts: h.Counts(),
+				Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+				P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+			})
+		}
+	}
+	for _, root := range r.Spans() {
+		snap.Spans = append(snap.Spans, snapshotSpan(root))
+	}
+	return snap
+}
+
+func snapshotSpan(s *Span) SpanSnapshot {
+	out := SpanSnapshot{Name: s.Name, StartPs: s.Start, EndPs: s.End, DurationPs: s.Duration()}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, snapshotSpan(c))
+	}
+	return out
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// WriteJSON writes an indented JSON snapshot. A nil registry writes an
+// empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// SortedSeriesNames returns every registered metric name, sorted, for
+// tests and docs tooling.
+func (r *Registry) SortedSeriesNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, k := range r.order {
+		n := r.metrics[k].name
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	r := NewRegistry()
+	life := r.StartSpan("lifecycle", 0)
+	run := r.StartSpan("run", 0)
+	run.EndAt(100)
+	drain := r.StartSpan("drain", 100)
+	blocks := r.StartSpan("flush-blocks", 100)
+	blocks.EndAt(180)
+	meta := r.StartSpan("flush-metadata", 180)
+	meta.EndAt(200)
+	drain.EndAt(200)
+	life.EndAt(200)
+
+	roots := r.Spans()
+	if len(roots) != 1 || roots[0].Name != "lifecycle" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Fatalf("lifecycle children = %d, want 2 (run, drain)", len(roots[0].Children))
+	}
+	d := roots[0].Children[1]
+	if d.Name != "drain" || len(d.Children) != 2 || d.Duration() != 100 {
+		t.Fatalf("drain span = %+v", d)
+	}
+	var paths []string
+	r.WalkSpans(func(p string, s *Span) { paths = append(paths, p) })
+	want := "lifecycle lifecycle/run lifecycle/drain lifecycle/drain/flush-blocks lifecycle/drain/flush-metadata"
+	if got := strings.Join(paths, " "); got != want {
+		t.Fatalf("paths = %q, want %q", got, want)
+	}
+}
+
+func TestSpanParentEndClosesChildren(t *testing.T) {
+	r := NewRegistry()
+	parent := r.StartSpan("recover", 0)
+	child := r.StartSpan("verify", 10)
+	parent.EndAt(50) // child left open: must be closed at 50 too
+	if child.Duration() != 40 {
+		t.Fatalf("abandoned child duration = %d, want 40", child.Duration())
+	}
+	// Ending the already-popped child later must not corrupt the stack.
+	child.EndAt(90)
+	if child.End != 50 {
+		t.Fatalf("closed child re-opened: end = %d", child.End)
+	}
+	next := r.StartSpan("next", 60)
+	next.EndAt(70)
+	if len(r.Spans()) != 2 {
+		t.Fatalf("roots = %d, want 2", len(r.Spans()))
+	}
+}
+
+func TestSpanEndBeforeStartClamped(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartSpan("x", 100)
+	s.EndAt(40)
+	if s.Duration() != 0 {
+		t.Fatalf("negative-duration span = %d, want clamp to 0", s.Duration())
+	}
+}
+
+// promLine matches a valid sample line of the text exposition format.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [^ ]+$`)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("horus_mem_reads_total", "Reads by category.")
+	r.Counter("horus_mem_reads_total", "category", "data").Add(4)
+	r.Counter("horus_mem_reads_total", "category", "tree").Add(2)
+	r.Gauge("horus_drain_time_ps", "scheme", "Horus-SLM").Set(1.5e9)
+	h := r.Histogram("horus_mem_bank_wait_ps", []float64{100, 1000})
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5000)
+	life := r.StartSpan("drain", 0)
+	life.EndAt(2000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP horus_mem_reads_total Reads by category.",
+		"# TYPE horus_mem_reads_total counter",
+		`horus_mem_reads_total{category="data"} 4`,
+		`horus_mem_reads_total{category="tree"} 2`,
+		"# TYPE horus_drain_time_ps gauge",
+		`horus_drain_time_ps{scheme="Horus-SLM"} 1.5e+09`,
+		"# TYPE horus_mem_bank_wait_ps histogram",
+		`horus_mem_bank_wait_ps_bucket{le="100"} 1`,
+		`horus_mem_bank_wait_ps_bucket{le="1000"} 2`,
+		`horus_mem_bank_wait_ps_bucket{le="+Inf"} 3`,
+		`horus_mem_bank_wait_ps_sum 5550`,
+		`horus_mem_bank_wait_ps_count 3`,
+		"# TYPE horus_span_duration_ps_total counter",
+		`horus_span_duration_ps_total{path="drain"} 2000`,
+		`horus_span_count{path="drain"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// One TYPE header per name, every sample line well-formed.
+	typeCount := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			typeCount[strings.Fields(line)[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	for name, n := range typeCount {
+		if n != 1 {
+			t.Errorf("metric %s has %d TYPE headers", name, n)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "k", "v").Add(9)
+	r.Gauge("g").Set(2.5)
+	h := r.Histogram("h", []float64{10})
+	h.Observe(4)
+	h.Observe(40)
+	root := r.StartSpan("drain", 0)
+	r.RecordSpan("flush-blocks", 0, 30)
+	root.EndAt(50)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 9 || snap.Counters[0].Labels["k"] != "v" {
+		t.Fatalf("counters = %+v", snap.Counters)
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 2.5 {
+		t.Fatalf("gauges = %+v", snap.Gauges)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != 2 || snap.Histograms[0].Sum != 44 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].DurationPs != 50 ||
+		len(snap.Spans[0].Children) != 1 || snap.Spans[0].Children[0].DurationPs != 30 {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+	// An empty (nil) registry still yields valid JSON.
+	var nilReg *Registry
+	b.Reset()
+	if err := nilReg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("nil registry JSON invalid: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	// Bounds are inclusive upper bounds; above the last bound goes to +Inf.
+	for _, c := range []struct {
+		v      float64
+		bucket int
+	}{
+		{5, 0}, {10, 0}, // at the bound -> the bound's bucket
+		{10.1, 1}, {20, 1},
+		{25, 2}, {30, 2},
+		{31, 3}, {1e9, 3}, // overflow bucket
+	} {
+		h2 := NewHistogram([]float64{10, 20, 30})
+		h2.Observe(c.v)
+		counts := h2.Counts()
+		if counts[c.bucket] != 1 {
+			t.Fatalf("Observe(%g): counts = %v, want bucket %d", c.v, counts, c.bucket)
+		}
+	}
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(100)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 120 {
+		t.Fatalf("sum = %g, want 120", got)
+	}
+	if h.Min() != 5 || h.Max() != 100 {
+		t.Fatalf("min/max = %g/%g, want 5/100", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramAscendingBoundsEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(LinearBuckets(10, 10, 10)) // 10, 20, ... 100
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	// With a uniform 1..100 population the quantile estimate should land
+	// within one bucket width of the exact value.
+	for _, c := range []struct{ q, want float64 }{
+		{0.0, 1}, {0.5, 50}, {0.9, 90}, {1.0, 100},
+	} {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > 10 {
+			t.Errorf("Quantile(%g) = %g, want %g +- 10", c.q, got, c.want)
+		}
+	}
+	// Clamped to observed extremes, never bucket edges beyond them.
+	if got := h.Quantile(1); got > h.Max() {
+		t.Errorf("Quantile(1) = %g > max %g", got, h.Max())
+	}
+	if got := h.Quantile(0); got < h.Min() {
+		t.Errorf("Quantile(0) = %g < min %g", got, h.Min())
+	}
+	if !math.IsNaN(h.Quantile(1.5)) || !math.IsNaN(h.Quantile(-0.1)) {
+		t.Error("out-of-range quantile should be NaN")
+	}
+	empty := NewHistogram(nil)
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	// All mass in the +Inf bucket: quantiles must interpolate min..max,
+	// never return infinity.
+	h := NewHistogram([]float64{1})
+	h.Observe(50)
+	h.Observe(150)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if math.IsInf(got, 0) || got < 50 || got > 150 {
+			t.Fatalf("Quantile(%g) = %g, want within [50, 150]", q, got)
+		}
+	}
+}
+
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 3})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge with different bounds should error")
+	}
+	c := NewHistogram([]float64{1})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge with different bound count should error")
+	}
+	if a.Merge(a) == nil {
+		t.Fatal("self-merge should error")
+	}
+}
+
+// obsSample is a quick-checkable batch of observations.
+type obsSample []uint16
+
+func histOf(s obsSample) *Histogram {
+	h := NewHistogram(ExpBuckets(1, 4, 8))
+	for _, v := range s {
+		h.Observe(float64(v))
+	}
+	return h
+}
+
+func histEqual(a, b *Histogram) bool {
+	ac, bc := a.Counts(), b.Counts()
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	return a.Count() == b.Count() && a.Sum() == b.Sum() &&
+		a.Min() == b.Min() && a.Max() == b.Max()
+}
+
+// TestHistogramMergeAssociativeAndCommutative property-checks the algebra
+// bank-parallel recovery relies on: merging per-chain histograms must give
+// the same result regardless of merge order or grouping.
+func TestHistogramMergeAssociativeAndCommutative(t *testing.T) {
+	assoc := func(x, y, z obsSample) bool {
+		// (x+y)+z
+		l := histOf(x)
+		ly := histOf(y)
+		if err := l.Merge(ly); err != nil {
+			return false
+		}
+		if err := l.Merge(histOf(z)); err != nil {
+			return false
+		}
+		// x+(y+z)
+		r1 := histOf(y)
+		if err := r1.Merge(histOf(z)); err != nil {
+			return false
+		}
+		r := histOf(x)
+		if err := r.Merge(r1); err != nil {
+			return false
+		}
+		return histEqual(l, r)
+	}
+	if err := quick.Check(assoc, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("merge not associative: %v", err)
+	}
+	comm := func(x, y obsSample) bool {
+		a := histOf(x)
+		if err := a.Merge(histOf(y)); err != nil {
+			return false
+		}
+		b := histOf(y)
+		if err := b.Merge(histOf(x)); err != nil {
+			return false
+		}
+		return histEqual(a, b)
+	}
+	if err := quick.Check(comm, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("merge not commutative: %v", err)
+	}
+	identity := func(x obsSample) bool {
+		a := histOf(x)
+		if err := a.Merge(histOf(nil)); err != nil {
+			return false
+		}
+		return histEqual(a, histOf(x))
+	}
+	if err := quick.Check(identity, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("empty histogram is not a merge identity: %v", err)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if len(lin) != 3 || lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(2, 3, 3)
+	if len(exp) != 3 || exp[0] != 2 || exp[1] != 6 || exp[2] != 18 {
+		t.Fatalf("ExpBuckets = %v", exp)
+	}
+	// The shared default bucket sets must be valid histogram bounds.
+	NewHistogram(LatencyBuckets)
+	NewHistogram(UtilizationBuckets)
+	NewHistogram(DepthBuckets)
+}

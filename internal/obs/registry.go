@@ -1,0 +1,290 @@
+// Package obs is the zero-dependency observability layer of the simulator:
+// a registry of named counters, gauges and fixed-bucket histograms, plus
+// phase-scoped spans that nest into a lifecycle tree (run / crash / drain /
+// recover / verify), with exporters for the Prometheus text exposition
+// format and a JSON snapshot.
+//
+// Instrumentation is designed to be free when disabled: every method is
+// safe on a nil *Registry (and on the nil metric handles a nil registry
+// returns), so instrumented code holds plain pointers and pays one nil
+// check per event. Hot paths cache metric handles once instead of looking
+// them up per event.
+//
+// Values are untyped on purpose: simulated durations are recorded in
+// picoseconds (the sim.Time unit) as int64/float64 so this package needs no
+// import of the timing model and can be merged across bank-parallel
+// recovery chains or whole registries.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a metric for exporters.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind in Prometheus TYPE terms.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one metric dimension.
+type Label struct {
+	Key, Value string
+}
+
+// Registry holds named metrics and the span tree of one simulation
+// lifecycle. The zero value is not used directly; NewRegistry returns a
+// ready registry and a nil *Registry is a valid, always-no-op registry.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string // metric keys in registration order
+	metrics map[string]*metricEntry
+	help    map[string]string
+
+	roots []*Span
+	open  []*Span // current span stack
+}
+
+// metricEntry is one registered (name, labels) series.
+type metricEntry struct {
+	name   string
+	labels []Label
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metricEntry),
+		help:    make(map[string]string),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// SetHelp attaches a HELP string to a metric name (shown by the Prometheus
+// exporter).
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}
+
+// seriesKey canonicalises (name, labels) into a map key. Labels must
+// already be sorted by key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// parseLabels turns alternating key/value strings into a sorted label set.
+// An odd trailing key is dropped rather than panicking: instrumentation
+// must never take the simulator down.
+func parseLabels(kv []string) []Label {
+	n := len(kv) / 2
+	if n == 0 {
+		return nil
+	}
+	labels := make([]Label, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Key < labels[j].Key })
+	return labels
+}
+
+// lookup returns the entry for (name, labels), creating it with mk when
+// absent. Returns nil when an existing entry has a different kind.
+func (r *Registry) lookup(name string, kv []string, kind Kind, mk func(e *metricEntry)) *metricEntry {
+	labels := parseLabels(kv)
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[key]; ok {
+		if e.kind != kind {
+			return nil
+		}
+		return e
+	}
+	e := &metricEntry{name: name, labels: labels, kind: kind}
+	mk(e)
+	r.metrics[key] = e
+	r.order = append(r.order, key)
+	return e
+}
+
+// Counter returns (creating if needed) the counter for name and the given
+// alternating label key/value pairs. Nil registries return a nil counter,
+// whose methods are no-ops.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kv, KindCounter, func(e *metricEntry) { e.counter = &Counter{} })
+	if e == nil {
+		return nil
+	}
+	return e.counter
+}
+
+// Gauge returns (creating if needed) the gauge for name and labels.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kv, KindGauge, func(e *metricEntry) { e.gauge = &Gauge{} })
+	if e == nil {
+		return nil
+	}
+	return e.gauge
+}
+
+// Histogram returns (creating if needed) the histogram for name and labels
+// with the given bucket upper bounds (sorted ascending; an implicit +Inf
+// bucket is appended). An existing histogram keeps its original bounds.
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, kv, KindHistogram, func(e *metricEntry) { e.hist = NewHistogram(bounds) })
+	if e == nil {
+		return nil
+	}
+	return e.hist
+}
+
+// Merge folds every metric of other into r: counters add, histograms merge
+// bucket-wise (matching bounds required), gauges take other's latest value.
+// Spans of other are appended as additional roots. Intended for combining
+// per-chain registries of bank-parallel recovery into one report. A nil
+// receiver or nil other is a no-op.
+func (r *Registry) Merge(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	keys := append([]string(nil), other.order...)
+	entries := make([]*metricEntry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, other.metrics[k])
+	}
+	spans := append([]*Span(nil), other.roots...)
+	other.mu.Unlock()
+
+	for _, e := range entries {
+		kv := make([]string, 0, 2*len(e.labels))
+		for _, l := range e.labels {
+			kv = append(kv, l.Key, l.Value)
+		}
+		switch e.kind {
+		case KindCounter:
+			r.Counter(e.name, kv...).Add(e.counter.Value())
+		case KindGauge:
+			r.Gauge(e.name, kv...).Set(e.gauge.Value())
+		case KindHistogram:
+			h := r.Histogram(e.name, e.hist.Bounds(), kv...)
+			h.Merge(e.hist) // ignore bound mismatch: nothing safe to do
+		}
+	}
+	r.mu.Lock()
+	r.roots = append(r.roots, spans...)
+	r.mu.Unlock()
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge value. No-op on nil.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += v
+	g.mu.Unlock()
+}
+
+// Value returns the current value (zero on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	// Every method must be callable on nil without panicking.
+	r.SetHelp("x", "y")
+	r.Counter("c").Add(1)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	r.Gauge("g").Set(3)
+	r.Gauge("g").Add(1)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Fatalf("nil gauge value = %g", got)
+	}
+	h := r.Histogram("h", LatencyBuckets)
+	h.Observe(5)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram recorded something")
+	}
+	sp := r.StartSpan("run", 0)
+	sp.EndAt(10)
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %d", d)
+	}
+	if spans := r.Spans(); spans != nil {
+		t.Fatalf("nil registry spans = %v", spans)
+	}
+	r.Merge(NewRegistry())
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil WritePrometheus = %q, %v", sb.String(), err)
+	}
+}
+
+func TestCounterAndGaugeSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reads", "category", "data").Add(3)
+	r.Counter("reads", "category", "data").Add(2)
+	r.Counter("reads", "category", "tree").Add(7)
+	if got := r.Counter("reads", "category", "data").Value(); got != 5 {
+		t.Fatalf("data counter = %d, want 5", got)
+	}
+	if got := r.Counter("reads", "category", "tree").Value(); got != 7 {
+		t.Fatalf("tree counter = %d, want 7", got)
+	}
+	// Label order must not matter for series identity.
+	r.Counter("multi", "a", "1", "b", "2").Add(1)
+	r.Counter("multi", "b", "2", "a", "1").Add(1)
+	if got := r.Counter("multi", "a", "1", "b", "2").Value(); got != 2 {
+		t.Fatalf("label order changed identity: %d, want 2", got)
+	}
+	g := r.Gauge("util")
+	g.Set(0.5)
+	g.Add(0.25)
+	if got := g.Value(); got != 0.75 {
+		t.Fatalf("gauge = %g, want 0.75", got)
+	}
+}
+
+func TestKindMismatchReturnsNil(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m").Add(1)
+	if g := r.Gauge("m"); g != nil {
+		t.Fatal("gauge over existing counter name should be nil")
+	}
+	if h := r.Histogram("m", nil); h != nil {
+		t.Fatal("histogram over existing counter name should be nil")
+	}
+	// And the nil results must be safe to use.
+	r.Gauge("m").Set(1)
+	r.Histogram("m", nil).Observe(1)
+}
+
+func TestRegistryMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c").Add(2)
+	b.Counter("c").Add(3)
+	b.Counter("only-b").Add(1)
+	a.Gauge("g").Set(1)
+	b.Gauge("g").Set(9)
+	ha := a.Histogram("h", []float64{1, 2})
+	hb := b.Histogram("h", []float64{1, 2})
+	ha.Observe(0.5)
+	hb.Observe(1.5)
+	b.RecordSpan("drain", 0, 42)
+
+	a.Merge(b)
+	if got := a.Counter("c").Value(); got != 5 {
+		t.Fatalf("merged counter = %d, want 5", got)
+	}
+	if got := a.Counter("only-b").Value(); got != 1 {
+		t.Fatalf("merged new counter = %d, want 1", got)
+	}
+	if got := a.Gauge("g").Value(); got != 9 {
+		t.Fatalf("merged gauge = %g, want 9 (other wins)", got)
+	}
+	if got := a.Histogram("h", nil).Count(); got != 2 {
+		t.Fatalf("merged histogram count = %d, want 2", got)
+	}
+	spans := a.Spans()
+	if len(spans) != 1 || spans[0].Name != "drain" || spans[0].Duration() != 42 {
+		t.Fatalf("merged spans = %+v", spans)
+	}
+}

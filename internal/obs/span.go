@@ -1,0 +1,123 @@
+package obs
+
+// Span is one phase of the simulated lifecycle (run, crash, drain, recover,
+// verify, ...) with simulated start and end timestamps in picoseconds.
+// Spans nest: a span started while another is open becomes its child, so a
+// full episode renders as a tree. Each phase runs on its own sim clock
+// (statistics are reset at phase entry), so timestamps are phase-local and
+// the tree is primarily a duration breakdown, not a global timeline.
+type Span struct {
+	Name     string
+	Start    int64 // phase-local sim time, ps
+	End      int64 // phase-local sim time, ps
+	Children []*Span
+
+	reg  *Registry
+	open bool
+}
+
+// StartSpan opens a span at the given simulated time. It nests under the
+// innermost open span, or becomes a new root. A nil registry returns a nil
+// span whose methods are no-ops.
+func (r *Registry) StartSpan(name string, at int64) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{Name: name, Start: at, End: at, reg: r, open: true}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.open); n > 0 {
+		parent := r.open[n-1]
+		parent.Children = append(parent.Children, s)
+	} else {
+		r.roots = append(r.roots, s)
+	}
+	r.open = append(r.open, s)
+	return s
+}
+
+// RecordSpan records an already-finished span (start and end known), nested
+// under the innermost open span. Useful for zero-length markers ("crash")
+// and for phases timed externally.
+func (r *Registry) RecordSpan(name string, start, end int64) *Span {
+	s := r.StartSpan(name, start)
+	s.EndAt(end)
+	return s
+}
+
+// EndAt closes the span at the given simulated time. Any children still
+// open are closed at the same instant (spans may not outlive their parent).
+// No-op on a nil or already-closed span.
+func (s *Span) EndAt(at int64) {
+	if s == nil || !s.open {
+		return
+	}
+	r := s.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := -1
+	for i := len(r.open) - 1; i >= 0; i-- {
+		if r.open[i] == s {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		// Not on the stack (already popped by a parent's EndAt).
+		s.closeAt(at)
+		return
+	}
+	// Pop the stack down to (and including) s, closing abandoned children.
+	for i := len(r.open) - 1; i >= idx; i-- {
+		r.open[i].closeAt(at)
+	}
+	r.open = r.open[:idx]
+}
+
+// closeAt marks the span finished; callers hold the registry lock.
+func (s *Span) closeAt(at int64) {
+	if !s.open {
+		return
+	}
+	s.open = false
+	if at > s.End {
+		s.End = at
+	}
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+}
+
+// Duration returns End-Start in picoseconds (zero on nil).
+func (s *Span) Duration() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Spans returns the root spans recorded so far (nil on a nil registry).
+// Open spans are included as-is; their End is the latest child end seen.
+func (r *Registry) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Span(nil), r.roots...)
+}
+
+// WalkSpans visits every span depth-first with its slash-joined path
+// (e.g. "drain/flush-blocks"). No-op on nil.
+func (r *Registry) WalkSpans(visit func(path string, s *Span)) {
+	for _, root := range r.Spans() {
+		walkSpan(root.Name, root, visit)
+	}
+}
+
+func walkSpan(path string, s *Span, visit func(string, *Span)) {
+	visit(path, s)
+	for _, c := range s.Children {
+		walkSpan(path+"/"+c.Name, c, visit)
+	}
+}

@@ -1,0 +1,40 @@
+package report
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// SpanTree renders a registry's lifecycle spans as an indented table: one
+// row per span, children indented under their parent, with the simulated
+// duration both human-readable and in raw picoseconds. Phases run on
+// phase-local sim clocks, so durations are a breakdown, not a timeline.
+func SpanTree(reg *obs.Registry) *Table {
+	t := &Table{
+		Title:  "Lifecycle spans",
+		Header: []string{"phase", "duration", "ps"},
+	}
+	roots := reg.Spans()
+	if len(roots) == 0 {
+		t.AddNote("no spans recorded")
+		return t
+	}
+	var add func(depth int, s *obs.Span)
+	add = func(depth int, s *obs.Span) {
+		t.AddRow(
+			strings.Repeat("  ", depth)+s.Name,
+			sim.Time(s.Duration()).String(),
+			strconv.FormatInt(s.Duration(), 10),
+		)
+		for _, c := range s.Children {
+			add(depth+1, c)
+		}
+	}
+	for _, root := range roots {
+		add(0, root)
+	}
+	return t
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/hierarchy"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/secmem"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -114,6 +115,48 @@ type Machine struct {
 
 	now   sim.Time
 	stats Stats
+
+	metrics *obs.Registry
+	mLabels []string
+}
+
+// SetMetrics attaches the machine to a metrics registry (nil detaches). The
+// extra labels (alternating key, value — e.g. "domain", "EPD") are applied
+// to every series the machine publishes. The underlying controllers attach
+// via their own SetMetrics.
+func (m *Machine) SetMetrics(reg *obs.Registry, labels ...string) {
+	m.metrics = reg
+	m.mLabels = labels
+}
+
+// PublishMetrics snapshots the run-time counters into the attached registry
+// as gauges, and asks the memory controllers to publish their occupancy for
+// the "run" phase. No-op when no registry is attached.
+func (m *Machine) PublishMetrics() {
+	reg := m.metrics
+	if reg == nil {
+		return
+	}
+	s := m.Stats()
+	reg.SetHelp("horus_run_ops", "Run-time operations executed, by kind.")
+	reg.SetHelp("horus_run_time_ps", "Simulated run-time execution time, picoseconds.")
+	lbl := func(extra ...string) []string { return append(extra, m.mLabels...) }
+	reg.Gauge("horus_run_ops", lbl("kind", "read")...).Set(float64(s.Reads))
+	reg.Gauge("horus_run_ops", lbl("kind", "write")...).Set(float64(s.Writes))
+	reg.Gauge("horus_run_ops", lbl("kind", "persist")...).Set(float64(s.Persists))
+	reg.Gauge("horus_run_persist_flushes", lbl()...).Set(float64(s.PersistFlush))
+	reg.Gauge("horus_run_persist_elided", lbl()...).Set(float64(s.PersistElided))
+	reg.Gauge("horus_run_wpq_stalls", lbl()...).Set(float64(s.WPQStalls))
+	reg.Gauge("horus_run_misses_to_mem", lbl()...).Set(float64(s.MissesToMem))
+	reg.Gauge("horus_run_writebacks", lbl()...).Set(float64(s.Writebacks))
+	reg.Gauge("horus_run_time_ps", lbl()...).Set(float64(s.Time))
+	for i, hits := range s.HitsPerLevel {
+		reg.Gauge("horus_run_cache_hits", lbl("level", m.cfg.Hierarchy.Levels[i].Name)...).Set(float64(hits))
+	}
+	m.nvm.PublishMetrics("run", m.now)
+	if m.sec != nil {
+		m.sec.PublishMetrics("run", m.now)
+	}
 }
 
 // New builds a machine over the given memory system. sec may be nil for a
@@ -369,6 +412,11 @@ func (m *Machine) Persist(addr uint64) error {
 
 // Run executes a workload stream to completion.
 func (m *Machine) Run(s *workload.Stream) error {
+	span := m.metrics.StartSpan("run", int64(m.now))
+	defer func() {
+		span.EndAt(int64(m.now))
+		m.PublishMetrics()
+	}()
 	for i, op := range s.Ops {
 		var err error
 		switch op.Kind {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cme"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -148,6 +149,61 @@ type Controller struct {
 	osirisPersists int64
 
 	evictionDepth int
+
+	m *engineMetrics // optional crypto-engine instrumentation
+}
+
+// engineMetrics caches metric handles for the issueAES/issueMAC hot paths.
+type engineMetrics struct {
+	reg    *obs.Registry
+	labels []string
+
+	aesCtr *obs.Counter
+	macCtr map[string]*obs.Counter
+}
+
+// SetMetrics attaches the controller to a metrics registry (nil detaches).
+// The extra labels (alternating key, value) are applied to every series.
+func (c *Controller) SetMetrics(reg *obs.Registry, labels ...string) {
+	if reg == nil {
+		c.m = nil
+		return
+	}
+	reg.SetHelp("horus_sec_aes_ops_total", "AES (OTP) operations issued to the shared crypto engine.")
+	reg.SetHelp("horus_sec_mac_ops_total", "MAC computations by category (verify, tree-update, data-mac, meta-protect).")
+	c.m = &engineMetrics{
+		reg:    reg,
+		labels: labels,
+		aesCtr: reg.Counter("horus_sec_aes_ops_total", labels...),
+		macCtr: make(map[string]*obs.Counter),
+	}
+}
+
+// PublishMetrics snapshots crypto-engine occupancy into the attached
+// registry as gauges labelled with the given phase. window is the phase
+// duration used for utilisation; if zero or negative, EnginesLastDone() is
+// used. No-op when no registry is attached.
+func (c *Controller) PublishMetrics(phase string, window sim.Time) {
+	if c.m == nil {
+		return
+	}
+	if window <= 0 {
+		window = c.EnginesLastDone()
+	}
+	reg := c.m.reg
+	reg.SetHelp("horus_sec_engine_busy_ps", "Crypto-engine issue-slot occupancy within the phase, picoseconds.")
+	reg.SetHelp("horus_sec_engine_utilization", "Crypto-engine occupied fraction of the phase window.")
+	reg.SetHelp("horus_sec_engine_wait_ps", "Cumulative structural-hazard delay at the crypto engine within the phase, picoseconds.")
+	reg.SetHelp("horus_sec_engine_ops", "Operations issued to the crypto engine within the phase.")
+	for _, e := range []*sim.Engine{c.aes, c.mac} {
+		lbl := append([]string{"engine", e.Name(), "phase", phase}, c.m.labels...)
+		reg.Gauge("horus_sec_engine_busy_ps", lbl...).Set(float64(e.BusyTime()))
+		reg.Gauge("horus_sec_engine_wait_ps", lbl...).Set(float64(e.WaitTime()))
+		reg.Gauge("horus_sec_engine_ops", lbl...).Set(float64(e.Ops()))
+		if window > 0 {
+			reg.Gauge("horus_sec_engine_utilization", lbl...).Set(float64(e.BusyTime()) / float64(window))
+		}
+	}
 }
 
 // OsirisPersists returns how many stop-loss counter write-throughs have
@@ -272,12 +328,23 @@ func (c *Controller) IssueMAC(ready sim.Time, category string) sim.Time {
 // issueMAC charges one MAC computation of the given category.
 func (c *Controller) issueMAC(ready sim.Time, category string) sim.Time {
 	c.macCalcs.Add(category, 1)
+	if c.m != nil {
+		ctr, ok := c.m.macCtr[category]
+		if !ok {
+			ctr = c.m.reg.Counter("horus_sec_mac_ops_total", append([]string{"category", category}, c.m.labels...)...)
+			c.m.macCtr[category] = ctr
+		}
+		ctr.Add(1)
+	}
 	return c.mac.Issue(ready)
 }
 
 // issueAES charges one AES (OTP) computation.
 func (c *Controller) issueAES(ready sim.Time) sim.Time {
 	c.aesOps++
+	if c.m != nil {
+		c.m.aesCtr.Add(1)
+	}
 	return c.aes.Issue(ready)
 }
 

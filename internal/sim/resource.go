@@ -11,6 +11,7 @@ type Resource struct {
 
 	ops  int64
 	busy Time // total occupied time, for utilisation reporting
+	wait Time // total queueing delay (start - ready) across operations
 }
 
 // NewResource returns an idle resource with the given diagnostic name.
@@ -25,6 +26,7 @@ func (r *Resource) Acquire(ready, dur Time) (start, done Time) {
 	done = start + dur
 	r.ops++
 	r.busy += dur
+	r.wait += start - ready
 	return start, done
 }
 
@@ -38,6 +40,10 @@ func (r *Resource) Ops() int64 { return r.ops }
 // BusyTime returns the cumulative occupied duration.
 func (r *Resource) BusyTime() Time { return r.busy }
 
+// WaitTime returns the cumulative queueing delay (time operations spent
+// between becoming ready and acquiring the resource).
+func (r *Resource) WaitTime() Time { return r.wait }
+
 // Name returns the diagnostic name.
 func (r *Resource) Name() string { return r.name }
 
@@ -46,6 +52,7 @@ func (r *Resource) Reset() {
 	r.tl.reset()
 	r.ops = 0
 	r.busy = 0
+	r.wait = 0
 }
 
 // Engine models a pipelined functional unit, e.g. an AES or MAC engine.
@@ -60,6 +67,8 @@ type Engine struct {
 	tl       timeline
 	ops      int64
 	lastDone Time
+	busy     Time // issue-slot occupancy (II per op)
+	wait     Time // total structural-hazard delay (start - ready)
 }
 
 // NewEngine returns a pipelined engine with the given per-operation latency
@@ -83,6 +92,8 @@ func (e *Engine) Issue(ready Time) (done Time) {
 	}
 	done = start + e.latency
 	e.ops++
+	e.busy += e.ii
+	e.wait += start - ready
 	if done > e.lastDone {
 		e.lastDone = done
 	}
@@ -95,6 +106,14 @@ func (e *Engine) Ops() int64 { return e.ops }
 // LastDone returns the completion time of the latest-finishing operation.
 func (e *Engine) LastDone() Time { return e.lastDone }
 
+// BusyTime returns the cumulative issue-slot occupancy (one initiation
+// interval per issued operation; zero for combinational engines).
+func (e *Engine) BusyTime() Time { return e.busy }
+
+// WaitTime returns the cumulative structural-hazard delay operations spent
+// waiting for an issue slot.
+func (e *Engine) WaitTime() Time { return e.wait }
+
 // Latency returns the per-operation latency.
 func (e *Engine) Latency() Time { return e.latency }
 
@@ -106,4 +125,6 @@ func (e *Engine) Reset() {
 	e.tl.reset()
 	e.ops = 0
 	e.lastDone = 0
+	e.busy = 0
+	e.wait = 0
 }

@@ -5,7 +5,9 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -79,7 +81,10 @@ func (r *Recorder) Reset() {
 	r.dropped = 0
 }
 
-// WriteCSV writes "seq,time_ps,kind,addr,category" rows with a header.
+// WriteCSV writes "seq,time_ps,kind,addr,category" rows with a header,
+// followed by a trailing comment row recording how many events were
+// retained and how many the limit dropped, so a truncated trace is
+// distinguishable from a complete one.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"seq", "time_ps", "kind", "addr", "category"}); err != nil {
@@ -98,5 +103,48 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "# events=%d dropped=%d\n", len(r.events), r.dropped)
+	return err
+}
+
+// jsonlEvent is the JSONL wire form of an Event.
+type jsonlEvent struct {
+	Seq      int64  `json:"seq"`
+	TimePs   int64  `json:"time_ps"`
+	Kind     string `json:"kind"`
+	Addr     string `json:"addr"`
+	Category string `json:"category"`
+}
+
+// jsonlSummary is the final line of a JSONL trace.
+type jsonlSummary struct {
+	Summary bool  `json:"summary"`
+	Events  int   `json:"events"`
+	Dropped int64 `json:"dropped"`
+}
+
+// WriteJSONL writes one JSON object per event, terminated by a summary
+// object ({"summary":true,...}) carrying the retained and dropped counts.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range r.events {
+		je := jsonlEvent{
+			Seq:      e.Seq,
+			TimePs:   int64(e.Time),
+			Kind:     string(e.Kind),
+			Addr:     fmt.Sprintf("0x%x", e.Addr),
+			Category: e.Category,
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(jsonlSummary{Summary: true, Events: len(r.events), Dropped: r.dropped}); err != nil {
+		return err
+	}
+	return bw.Flush()
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -56,14 +57,70 @@ func TestWriteCSV(t *testing.T) {
 	}
 	out := b.String()
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("csv lines = %d, want 3 (header + 2)", len(lines))
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d, want 4 (header + 2 + summary)", len(lines))
 	}
 	if lines[0] != "seq,time_ps,kind,addr,category" {
 		t.Errorf("header = %q", lines[0])
 	}
 	if !strings.Contains(lines[1], "write") || !strings.Contains(lines[1], "0x40") || !strings.Contains(lines[1], "chv-data") {
 		t.Errorf("row = %q", lines[1])
+	}
+	if lines[3] != "# events=2 dropped=0" {
+		t.Errorf("summary row = %q, want \"# events=2 dropped=0\"", lines[3])
+	}
+}
+
+func TestWriteCSVSummaryRecordsDropped(t *testing.T) {
+	r := NewRecorder(1)
+	r.OnAccess("write", 1, 0, "data")
+	r.OnAccess("write", 2, 64, "data")
+	r.OnAccess("write", 3, 128, "data")
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(b.String()), "# events=1 dropped=2") {
+		t.Errorf("missing drop count in summary: %q", b.String())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder(2)
+	r.OnAccess("write", 505000, 0x40, "chv-data")
+	r.OnAccess("read", 660000, 0x80, "recovery")
+	r.OnAccess("read", 700000, 0xC0, "recovery") // dropped
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("jsonl lines = %d, want 3 (2 events + summary)", len(lines))
+	}
+	var ev struct {
+		Seq      int64  `json:"seq"`
+		TimePs   int64  `json:"time_ps"`
+		Kind     string `json:"kind"`
+		Addr     string `json:"addr"`
+		Category string `json:"category"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if ev.Seq != 1 || ev.TimePs != 505000 || ev.Kind != "write" || ev.Addr != "0x40" || ev.Category != "chv-data" {
+		t.Errorf("first event = %+v", ev)
+	}
+	var sum struct {
+		Summary bool  `json:"summary"`
+		Events  int   `json:"events"`
+		Dropped int64 `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &sum); err != nil {
+		t.Fatalf("summary not valid JSON: %v", err)
+	}
+	if !sum.Summary || sum.Events != 2 || sum.Dropped != 1 {
+		t.Errorf("summary = %+v, want {true 2 1}", sum)
 	}
 }
 

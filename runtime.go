@@ -90,12 +90,17 @@ func NewWorkloadSystem(cfg Config, scheme Scheme, domain PersistDomain) *Workloa
 		scfg.Scheme = scheme.RuntimeScheme()
 		sec = secmem.New(scfg, lay, enc, nvm)
 	}
-	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec}
+	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec, Metrics: cfg.Metrics}
 	machine := runsim.New(runsim.Config{
 		Hierarchy: hcfg,
 		Domain:    domain,
 		ClockHz:   cfg.Sec.ClockHz,
 	}, sec, nvm)
+	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String(), "domain", domain.String())
+	if sec != nil {
+		sec.SetMetrics(cfg.Metrics, "scheme", scheme.String(), "domain", domain.String())
+	}
+	machine.SetMetrics(cfg.Metrics, "domain", domain.String())
 	return &WorkloadSystem{
 		Config:  cfg,
 		Scheme:  scheme,
@@ -123,6 +128,7 @@ func (ws *WorkloadSystem) CrashAndDrain() (Result, map[uint64]mem.Block, error) 
 	if err != nil {
 		return Result{}, nil, err
 	}
+	ws.Core.Metrics.RecordSpan("crash", 0, 0)
 	ws.Machine.Crash()
 	if ws.Core.Sec != nil {
 		ws.Core.Sec.Crash()
@@ -135,6 +141,13 @@ func (ws *WorkloadSystem) CrashAndDrain() (Result, map[uint64]mem.Block, error) 
 // written back into the machine's hierarchy as dirty state; for baselines
 // the metadata vault alone suffices (data drained in place).
 func (ws *WorkloadSystem) Recover(ps PersistentState) (RecoveryReport, error) {
+	span := ws.Core.Metrics.StartSpan("recover", 0)
+	report, err := ws.recoverFrom(ps)
+	span.EndAt(int64(report.Time()))
+	return report, err
+}
+
+func (ws *WorkloadSystem) recoverFrom(ps PersistentState) (RecoveryReport, error) {
 	switch {
 	case ps.Scheme.UsesCHV():
 		report := RecoveryReport{}
