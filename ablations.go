@@ -1,10 +1,12 @@
 package horus
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/hierarchy"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 // Ablations bundles the design-space studies DESIGN.md §5 calls out,
@@ -20,24 +22,62 @@ type Ablations struct {
 // RunAblations executes the ablation suite at the given configuration
 // scale.
 func RunAblations(cfg Config) (Ablations, error) {
+	return RunAblationsCtx(context.Background(), cfg, SweepOptions{})
+}
+
+// RunAblationsCtx executes the ablation suite through the episode engine:
+// each study is a declarative point grid (or custom episode set) sharing
+// ctx and the worker-pool options.
+func RunAblationsCtx(ctx context.Context, cfg Config, opts SweepOptions) (Ablations, error) {
 	var a Ablations
 	var err error
-	if a.FillPattern, err = ablateFillPattern(cfg); err != nil {
+	if a.FillPattern, err = ablateFillPattern(ctx, cfg, opts); err != nil {
 		return a, err
 	}
-	if a.DataSize, err = ablateDataSize(cfg); err != nil {
+	if a.DataSize, err = ablateDataSize(ctx, cfg, opts); err != nil {
 		return a, err
 	}
-	if a.TreeProfile, err = ablateTreeProfile(cfg); err != nil {
+	if a.TreeProfile, err = ablateTreeProfile(ctx, cfg, opts); err != nil {
 		return a, err
 	}
-	if a.Recovery, err = ablateRecovery(cfg); err != nil {
+	if a.Recovery, err = ablateRecovery(ctx, cfg, opts); err != nil {
 		return a, err
 	}
 	return a, nil
 }
 
-func ablateFillPattern(cfg Config) (*report.Table, error) {
+// ablationSchemes are the two designs every ablation contrasts: the lazy
+// baseline against Horus-SLM.
+var ablationSchemes = []Scheme{BaseLU, HorusSLM}
+
+// pairGrid runs a (case × {Base-LU, Horus-SLM}) grid and renders one table
+// row per case with the per-block access count of each scheme.
+func pairGrid(ctx context.Context, opts SweepOptions, t *report.Table, names []string, configs []Config) error {
+	var points []DrainPoint
+	for i, c := range configs {
+		for _, s := range ablationSchemes {
+			points = append(points, DrainPoint{
+				Label:  fmt.Sprintf("%s/%v", names[i], s),
+				Config: c,
+				Scheme: s,
+			})
+		}
+	}
+	prs, err := RunDrainGrid(ctx, points, opts)
+	if err != nil {
+		return err
+	}
+	for i := range configs {
+		lu := prs[i*len(ablationSchemes)].Result
+		slm := prs[i*len(ablationSchemes)+1].Result
+		t.AddRow(names[i],
+			fmt.Sprintf("%.2f", perBlock(lu)),
+			fmt.Sprintf("%.2f", perBlock(slm)))
+	}
+	return nil
+}
+
+func ablateFillPattern(ctx context.Context, cfg Config, opts SweepOptions) (*report.Table, error) {
 	t := &report.Table{
 		Title:  "Ablation: pre-crash content pattern (accesses per drained block)",
 		Header: []string{"pattern", "Base-LU", "Horus-SLM"},
@@ -53,98 +93,128 @@ func ablateFillPattern(cfg Config) (*report.Table, error) {
 			c.FlushShuffle = true
 		}},
 	}
-	for _, cse := range cases {
+	names := make([]string, len(cases))
+	configs := make([]Config, len(cases))
+	for i, cse := range cases {
 		c := cfg
 		cse.mut(&c)
-		lu, err := RunDrain(c, BaseLU)
-		if err != nil {
-			return nil, err
-		}
-		slm, err := RunDrain(c, HorusSLM)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(cse.name,
-			fmt.Sprintf("%.2f", perBlock(lu)),
-			fmt.Sprintf("%.2f", perBlock(slm)))
+		names[i] = cse.name
+		configs[i] = c
+	}
+	if err := pairGrid(ctx, opts, t, names, configs); err != nil {
+		return nil, err
 	}
 	t.AddNote("Horus is oblivious to the pattern; the baseline swings by an order of magnitude")
 	return t, nil
 }
 
-func ablateDataSize(cfg Config) (*report.Table, error) {
+func ablateDataSize(ctx context.Context, cfg Config, opts SweepOptions) (*report.Table, error) {
 	t := &report.Table{
 		Title:  "Ablation: protected-memory capacity (accesses per drained block)",
 		Header: []string{"capacity", "Base-LU", "Horus-SLM"},
 	}
 	base := cfg.DataSize
+	var names []string
+	var configs []Config
 	for _, mult := range []uint64{1, 4, 16} {
 		c := cfg
 		c.DataSize = base * mult
-		lu, err := RunDrain(c, BaseLU)
-		if err != nil {
-			return nil, err
-		}
-		slm, err := RunDrain(c, HorusSLM)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(fmt.Sprintf("%dGB", c.DataSize>>30),
-			fmt.Sprintf("%.2f", perBlock(lu)),
-			fmt.Sprintf("%.2f", perBlock(slm)))
+		names = append(names, fmt.Sprintf("%dGB", c.DataSize>>30))
+		configs = append(configs, c)
+	}
+	if err := pairGrid(ctx, opts, t, names, configs); err != nil {
+		return nil, err
 	}
 	t.AddNote("the paper's design goal: Horus decouples the hold-up budget from memory capacity (§I)")
 	return t, nil
 }
 
-func ablateTreeProfile(cfg Config) (*report.Table, error) {
-	sys := NewSystem(cfg, BaseLU)
-	if err := sys.Warmup(); err != nil {
+func ablateTreeProfile(ctx context.Context, cfg Config, opts SweepOptions) (*report.Table, error) {
+	// A custom episode: the study needs the secure controller's per-level
+	// fetch profile after the drain, not just the drain Result.
+	type profile struct {
+		names   []string
+		fetches []int64
+	}
+	results, err := runEpisodes(ctx, cfg, opts, []Episode{{
+		Label: "tree-profile/Base-LU",
+		Run: func(ctx context.Context, env EpisodeEnv) (any, error) {
+			c := cfg
+			c.Metrics = env.Metrics
+			sys := NewSystem(c, BaseLU)
+			if err := sys.Warmup(); err != nil {
+				return nil, err
+			}
+			sys.Fill()
+			if _, err := sys.Drain(); err != nil {
+				return nil, err
+			}
+			lf := sys.Core.Sec.LevelFetches()
+			var p profile
+			for _, name := range lf.SortedNames() {
+				p.names = append(p.names, name)
+				p.fetches = append(p.fetches, lf.Get(name))
+			}
+			return p, nil
+		},
+	}})
+	if err != nil {
 		return nil, err
 	}
-	sys.Fill()
-	if _, err := sys.Drain(); err != nil {
-		return nil, err
-	}
-	lf := sys.Core.Sec.LevelFetches()
+	p := results[0].Value.(profile)
 	t := &report.Table{
 		Title:  "Ablation: Base-LU verification-walk fetch profile (why Fig. 6 blows up)",
 		Header: []string{"metadata level", "NVM fetches"},
 	}
-	for _, name := range lf.SortedNames() {
-		t.AddRow(name, report.Count(lf.Get(name)))
+	for i, name := range p.names {
+		t.AddRow(name, report.Count(p.fetches[i]))
 	}
 	t.AddNote("L0 = counter blocks; sparse flushes miss the low tree levels on almost every access")
 	return t, nil
 }
 
-func ablateRecovery(cfg Config) (*report.Table, error) {
+func ablateRecovery(ctx context.Context, cfg Config, opts SweepOptions) (*report.Table, error) {
+	// A custom episode: serial and bank-parallel recovery must replay the
+	// same drained machine, so both run inside one episode.
+	type times struct{ serial, parallel sim.Time }
+	results, err := runEpisodes(ctx, cfg, opts, []Episode{{
+		Label: "recovery-model/Horus-SLM",
+		Run: func(ctx context.Context, env EpisodeEnv) (any, error) {
+			c := cfg
+			c.Metrics = env.Metrics
+			sys := NewSystem(c, HorusSLM)
+			if err := sys.Warmup(); err != nil {
+				return nil, err
+			}
+			sys.Fill()
+			res, err := sys.Drain()
+			if err != nil {
+				return nil, err
+			}
+			sys.Crash()
+			serial, err := RecoverSerial(sys, res.Persist)
+			if err != nil {
+				return nil, err
+			}
+			sys.Core.Sec.Crash()
+			parallel, err := RecoverParallel(sys, res.Persist)
+			if err != nil {
+				return nil, err
+			}
+			return times{serial, parallel}, nil
+		},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	tm := results[0].Value.(times)
 	t := &report.Table{
 		Title:  "Ablation: CHV recovery read-back model",
 		Header: []string{"model", "recovery time"},
 	}
-	sys := NewSystem(cfg, HorusSLM)
-	if err := sys.Warmup(); err != nil {
-		return nil, err
-	}
-	sys.Fill()
-	res, err := sys.Drain()
-	if err != nil {
-		return nil, err
-	}
-	sys.Crash()
-	serial, err := RecoverSerial(sys, res.Persist)
-	if err != nil {
-		return nil, err
-	}
-	sys.Core.Sec.Crash()
-	parallel, err := RecoverParallel(sys, res.Persist)
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("serial (paper Fig. 16)", serial.String())
-	t.AddRow("bank-parallel (extension)", parallel.String())
-	t.AddNote("speedup %.1fx: the banked NVM leaves recovery-time headroom", float64(serial)/float64(parallel))
+	t.AddRow("serial (paper Fig. 16)", tm.serial.String())
+	t.AddRow("bank-parallel (extension)", tm.parallel.String())
+	t.AddNote("speedup %.1fx: the banked NVM leaves recovery-time headroom", float64(tm.serial)/float64(tm.parallel))
 	return t, nil
 }
 

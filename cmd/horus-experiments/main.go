@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -28,10 +30,16 @@ func main() {
 		scaleFlag = flag.String("scale", "paper", "paper (Table I scale) | test (scaled down)")
 		seed      = flag.Int64("seed", 1, "fill/flush seed")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		parallel  = flag.Int("parallel", 0, "episode workers per sweep (0 = GOMAXPROCS); results are identical at any setting")
+		timeout   = flag.Duration("timeout", 0, "abort sweeps that run longer than this (0 = no limit)")
 	)
 	mf := cliutil.AddMetricsFlags()
 	flag.Parse()
 	emitCSVTo = *csvDir
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := horus.SweepOptions{Parallel: *parallel, Timeout: *timeout}
 
 	var cfg horus.Config
 	switch *scaleFlag {
@@ -61,7 +69,7 @@ func main() {
 	var set *horus.DrainSet
 	if needSet {
 		var err error
-		set, err = horus.RunDrainSet(cfg, horus.AllSchemes())
+		set, err = horus.RunDrainSetCtx(ctx, cfg, horus.AllSchemes(), opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -85,7 +93,7 @@ func main() {
 		if *scaleFlag == "test" {
 			sizes = []int{4 << 20, 8 << 20}
 		}
-		sw, err := horus.RunLLCSweep(cfg, sizes, horus.AllSchemes())
+		sw, err := horus.RunLLCSweepCtx(ctx, cfg, sizes, horus.AllSchemes(), opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -101,7 +109,7 @@ func main() {
 		if *scaleFlag == "test" {
 			sizes = []int{4 << 20, 8 << 20}
 		}
-		f16, err := horus.RunFig16(cfg, sizes)
+		f16, err := horus.RunFig16Ctx(ctx, cfg, sizes, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -120,7 +128,7 @@ func main() {
 		}
 	}
 	if has("ablations") {
-		a, err := horus.RunAblations(cfg)
+		a, err := horus.RunAblationsCtx(ctx, cfg, opts)
 		if err != nil {
 			fatal(err)
 		}

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	horus "repro"
 	"repro/internal/cliutil"
@@ -28,6 +30,8 @@ func main() {
 		memGB    = flag.Int("mem", 32, "protected NVM capacity in GB")
 		banks    = flag.Int("banks", 16, "NVM banks")
 		validate = flag.Bool("validate", false, "also run the simulator and report estimate error (slow)")
+		parallel = flag.Int("parallel", 0, "validation episode workers (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "abort validation runs longer than this (0 = no limit)")
 	)
 	mf := cliutil.AddMetricsFlags()
 	flag.Parse()
@@ -59,20 +63,21 @@ func main() {
 	if !*validate {
 		return
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	vals, err := horus.ValidatePlansCtx(ctx, cfg, horus.AllSchemes(),
+		horus.SweepOptions{Parallel: *parallel, Timeout: *timeout})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "horus-plan:", err)
+		os.Exit(1)
+	}
 	v := &report.Table{
 		Title:  "Validation against simulation",
 		Header: []string{"design", "est. hold-up", "simulated", "error"},
 	}
-	for _, s := range horus.AllSchemes() {
-		p := horus.PlanBattery(cfg, s)
-		res, err := horus.RunDrain(cfg, s)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "horus-plan:", err)
-			os.Exit(1)
-		}
-		errPct := 100 * (float64(p.DrainTime) - float64(res.DrainTime)) / float64(res.DrainTime)
-		v.AddRow(s.String(), p.DrainTime.String(), res.DrainTime.String(),
-			fmt.Sprintf("%+.0f%%", errPct))
+	for _, pv := range vals {
+		v.AddRow(pv.Scheme.String(), pv.Plan.DrainTime.String(), pv.Simulated.DrainTime.String(),
+			fmt.Sprintf("%+.0f%%", pv.ErrorPct))
 	}
 	v.Fprint(os.Stdout)
 	if mf.Enabled() {

@@ -1,0 +1,155 @@
+package horus
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// SweepOptions configures how experiment grids execute. The zero value is
+// the library's historical behavior apart from scheduling: episodes may run
+// on all cores. Results are independent of Parallel by construction — every
+// episode builds its own System and the engine merges metrics in episode
+// order — so -parallel N output is byte-identical to sequential output.
+type SweepOptions struct {
+	// Parallel bounds the episode worker pool; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Timeout bounds the whole grid; 0 means no timeout. Episodes not
+	// finished when it expires report context.DeadlineExceeded.
+	Timeout time.Duration
+}
+
+// DrainPoint is one (config, scheme) episode of an experiment grid.
+//
+// Episodes use Config.Seed for fill/flush randomness — drain sets rely on an
+// identical fill across schemes — while the engine's derived per-episode
+// seed remains available to custom episodes via EpisodeEnv.Seed.
+type DrainPoint struct {
+	// Label names the point in errors and progress reports; empty defaults
+	// to the scheme name.
+	Label  string
+	Config Config
+	Scheme Scheme
+	// Recover additionally crashes the machine after the drain and runs
+	// verified recovery (Fig. 16 and the recovery round trips).
+	Recover bool
+}
+
+// PointResult is one grid episode's outcome. Err is per-episode: a failing
+// point never discards its siblings' results.
+type PointResult struct {
+	Point    DrainPoint
+	Result   Result
+	Recovery *RecoveryReport // non-nil when Point.Recover and recovery ran
+	Err      error
+}
+
+// pointValue is the episode payload threaded through the engine.
+type pointValue struct {
+	res Result
+	rec *RecoveryReport
+}
+
+// RunDrainGrid executes the points through the episode engine: a bounded
+// worker pool (SweepOptions.Parallel), context cancellation, per-episode
+// panic capture, and deterministic metrics aggregation.
+//
+// Metrics: episodes never share a registry. Each point's Config.Metrics is
+// replaced with a fresh per-episode registry, and the original registry —
+// the first non-nil one among the points, normally the one registry every
+// point inherited from the base Config — receives all of them via ordered
+// post-hoc merge.
+//
+// Errors are collected per episode: the returned slice always has one entry
+// per point (completed points carry their Result even when others failed),
+// and the returned error, when non-nil, is a *SweepError aggregating every
+// failed point.
+func RunDrainGrid(ctx context.Context, points []DrainPoint, opts SweepOptions) ([]PointResult, error) {
+	var sink *MetricsRegistry
+	var baseSeed int64
+	for i := range points {
+		if sink == nil {
+			sink = points[i].Config.Metrics
+		}
+	}
+	if len(points) > 0 {
+		baseSeed = points[0].Config.Seed
+	}
+
+	eps := make([]sweep.Episode, len(points))
+	for i := range points {
+		pt := points[i] // capture per iteration: episodes run concurrently
+		label := pt.Label
+		if label == "" {
+			label = pt.Scheme.String()
+		}
+		eps[i] = sweep.Episode{Label: label, Run: func(ctx context.Context, env sweep.Env) (any, error) {
+			return runPointEpisode(ctx, pt, env)
+		}}
+	}
+
+	runner := sweep.New(sweep.Options{
+		Parallel: opts.Parallel,
+		Timeout:  opts.Timeout,
+		BaseSeed: baseSeed,
+		Metrics:  sink,
+	})
+	results, err := runner.Run(ctx, eps)
+
+	out := make([]PointResult, len(points))
+	for i, r := range results {
+		out[i] = PointResult{Point: points[i], Err: r.Err}
+		if v, ok := r.Value.(pointValue); ok {
+			out[i].Result = v.res
+			out[i].Recovery = v.rec
+		}
+	}
+	return out, err
+}
+
+// runPointEpisode is the canonical build → warmup → fill → drain
+// [→ crash → recover] episode body. The context is checked between phases:
+// the simulator itself is synchronous, so cancellation takes effect at
+// phase boundaries.
+func runPointEpisode(ctx context.Context, pt DrainPoint, env sweep.Env) (pointValue, error) {
+	cfg := pt.Config
+	cfg.Metrics = env.Metrics
+
+	sys := NewSystem(cfg, pt.Scheme)
+	if err := sys.Warmup(); err != nil {
+		return pointValue{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return pointValue{}, err
+	}
+	sys.Fill()
+	res, err := sys.Drain()
+	if err != nil {
+		return pointValue{}, err
+	}
+	if !pt.Recover {
+		return pointValue{res: res}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return pointValue{res: res}, err
+	}
+	sys.Crash()
+	rec, err := sys.Recover(res.Persist)
+	if err != nil {
+		return pointValue{res: res}, err
+	}
+	return pointValue{res: res, rec: &rec}, nil
+}
+
+// runEpisodes routes ad-hoc episodes (the ablation studies that need more
+// than the canonical drain body) through the same engine and options.
+func runEpisodes(ctx context.Context, cfg Config, opts SweepOptions, eps []Episode) ([]EpisodeResult, error) {
+	runner := sweep.New(sweep.Options{
+		Parallel: opts.Parallel,
+		Timeout:  opts.Timeout,
+		BaseSeed: cfg.Seed,
+		Metrics:  cfg.Metrics,
+	})
+	return runner.Run(ctx, eps)
+}

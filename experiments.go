@@ -1,6 +1,7 @@
 package horus
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/energy"
@@ -30,13 +31,27 @@ func (ds *DrainSet) mustResult(s Scheme) Result {
 // RunDrainSet drains a fresh system per scheme (identical fill and flush
 // order, thanks to the shared seed) and collects the results.
 func RunDrainSet(cfg Config, schemes []Scheme) (*DrainSet, error) {
+	return RunDrainSetCtx(context.Background(), cfg, schemes, SweepOptions{})
+}
+
+// RunDrainSetCtx is RunDrainSet through the episode engine: the schemes
+// drain concurrently (opts.Parallel workers) under ctx. On failure the
+// returned set still holds every scheme that completed, alongside a
+// *SweepError describing the ones that did not.
+func RunDrainSetCtx(ctx context.Context, cfg Config, schemes []Scheme, opts SweepOptions) (*DrainSet, error) {
+	points := make([]DrainPoint, len(schemes))
+	for i, s := range schemes {
+		points[i] = DrainPoint{Label: s.String(), Config: cfg, Scheme: s}
+	}
+	prs, err := RunDrainGrid(ctx, points, opts)
 	ds := &DrainSet{Config: cfg, Schemes: schemes, Results: make(map[Scheme]Result)}
-	for _, s := range schemes {
-		res, err := RunDrain(cfg, s)
-		if err != nil {
-			return nil, fmt.Errorf("horus: drain set %v: %w", s, err)
+	for _, pr := range prs {
+		if pr.Err == nil {
+			ds.Results[pr.Point.Scheme] = pr.Result
 		}
-		ds.Results[s] = res
+	}
+	if err != nil {
+		return ds, fmt.Errorf("horus: drain set: %w", err)
 	}
 	return ds, nil
 }
@@ -56,7 +71,12 @@ func Fig6Schemes() []Scheme { return []Scheme{NonSecure, BaseEU, BaseLU} }
 
 // RunFig6 regenerates Fig. 6.
 func RunFig6(cfg Config) (Fig6, error) {
-	ds, err := RunDrainSet(cfg, Fig6Schemes())
+	return RunFig6Ctx(context.Background(), cfg, SweepOptions{})
+}
+
+// RunFig6Ctx regenerates Fig. 6 through the episode engine.
+func RunFig6Ctx(ctx context.Context, cfg Config, opts SweepOptions) (Fig6, error) {
+	ds, err := RunDrainSetCtx(ctx, cfg, Fig6Schemes(), opts)
 	if err != nil {
 		return Fig6{}, err
 	}
@@ -98,7 +118,12 @@ type Fig11 struct {
 
 // RunFig11 regenerates Fig. 11.
 func RunFig11(cfg Config) (Fig11, error) {
-	ds, err := RunDrainSet(cfg, AllSchemes())
+	return RunFig11Ctx(context.Background(), cfg, SweepOptions{})
+}
+
+// RunFig11Ctx regenerates Fig. 11 through the episode engine.
+func RunFig11Ctx(ctx context.Context, cfg Config, opts SweepOptions) (Fig11, error) {
+	ds, err := RunDrainSetCtx(ctx, cfg, AllSchemes(), opts)
 	if err != nil {
 		return Fig11{}, err
 	}
@@ -142,7 +167,12 @@ type Fig12 struct {
 
 // RunFig12 regenerates Fig. 12.
 func RunFig12(cfg Config) (Fig12, error) {
-	ds, err := RunDrainSet(cfg, AllSchemes())
+	return RunFig12Ctx(context.Background(), cfg, SweepOptions{})
+}
+
+// RunFig12Ctx regenerates Fig. 12 through the episode engine.
+func RunFig12Ctx(ctx context.Context, cfg Config, opts SweepOptions) (Fig12, error) {
+	ds, err := RunDrainSetCtx(ctx, cfg, AllSchemes(), opts)
 	if err != nil {
 		return Fig12{}, err
 	}
@@ -179,7 +209,12 @@ type Fig13 struct {
 
 // RunFig13 regenerates Fig. 13.
 func RunFig13(cfg Config) (Fig13, error) {
-	ds, err := RunDrainSet(cfg, AllSchemes())
+	return RunFig13Ctx(context.Background(), cfg, SweepOptions{})
+}
+
+// RunFig13Ctx regenerates Fig. 13 through the episode engine.
+func RunFig13Ctx(ctx context.Context, cfg Config, opts SweepOptions) (Fig13, error) {
+	ds, err := RunDrainSetCtx(ctx, cfg, AllSchemes(), opts)
 	if err != nil {
 		return Fig13{}, err
 	}
@@ -241,20 +276,41 @@ func Fig14LLCSizes() []int { return []int{8 << 20, 16 << 20, 32 << 20} }
 
 // RunLLCSweep drains every scheme at each LLC size.
 func RunLLCSweep(cfg Config, llcSizes []int, schemes []Scheme) (*LLCSweep, error) {
-	sw := &LLCSweep{Config: cfg}
+	return RunLLCSweepCtx(context.Background(), cfg, llcSizes, schemes, SweepOptions{})
+}
+
+// RunLLCSweepCtx is RunLLCSweep as a declarative (size × scheme) point grid
+// over the episode engine. On failure the returned sweep holds every point
+// that completed, alongside a *SweepError describing the ones that did not.
+func RunLLCSweepCtx(ctx context.Context, cfg Config, llcSizes []int, schemes []Scheme, opts SweepOptions) (*LLCSweep, error) {
+	var points []DrainPoint
 	for _, size := range llcSizes {
 		c := cfg
 		c.LLCBytes = size
 		c.Hierarchy = nil
-		pt := SweepPoint{LLCBytes: size, Results: make(map[Scheme]Result)}
 		for _, s := range schemes {
-			res, err := RunDrain(c, s)
-			if err != nil {
-				return nil, fmt.Errorf("horus: LLC sweep %dMB %v: %w", size>>20, s, err)
+			points = append(points, DrainPoint{
+				Label:  fmt.Sprintf("llc=%dMB/%v", size>>20, s),
+				Config: c,
+				Scheme: s,
+			})
+		}
+	}
+	prs, err := RunDrainGrid(ctx, points, opts)
+
+	sw := &LLCSweep{Config: cfg}
+	for i, size := range llcSizes {
+		pt := SweepPoint{LLCBytes: size, Results: make(map[Scheme]Result)}
+		for j := range schemes {
+			pr := prs[i*len(schemes)+j]
+			if pr.Err == nil {
+				pt.Results[pr.Point.Scheme] = pr.Result
 			}
-			pt.Results[s] = res
 		}
 		sw.Points = append(sw.Points, pt)
+	}
+	if err != nil {
+		return sw, fmt.Errorf("horus: LLC sweep: %w", err)
 	}
 	return sw, nil
 }
@@ -334,31 +390,41 @@ func Fig16LLCSizes() []int { return []int{8 << 20, 16 << 20, 32 << 20, 64 << 20,
 
 // RunFig16 drains and recovers Horus-SLM and Horus-DLM at each LLC size.
 func RunFig16(cfg Config, llcSizes []int) (Fig16, error) {
-	var out Fig16
+	return RunFig16Ctx(context.Background(), cfg, llcSizes, SweepOptions{})
+}
+
+// RunFig16Ctx is RunFig16 as a (size × scheme) grid of drain + crash +
+// recover episodes over the engine. Completed points survive a sibling's
+// failure.
+func RunFig16Ctx(ctx context.Context, cfg Config, llcSizes []int, opts SweepOptions) (Fig16, error) {
+	var points []DrainPoint
 	for _, size := range llcSizes {
 		c := cfg
 		c.LLCBytes = size
 		c.Hierarchy = nil
 		for _, s := range []Scheme{HorusSLM, HorusDLM} {
-			sys := NewSystem(c, s)
-			if err := sys.Warmup(); err != nil {
-				return Fig16{}, err
-			}
-			n := sys.Fill()
-			res, err := sys.Drain()
-			if err != nil {
-				return Fig16{}, err
-			}
-			sys.Crash()
-			rec, err := sys.Recover(res.Persist)
-			if err != nil {
-				return Fig16{}, fmt.Errorf("horus: Fig16 recovery %dMB %v: %w", size>>20, s, err)
-			}
-			out.Points = append(out.Points, Fig16Point{
-				LLCBytes: size, Scheme: s,
-				RecoveryTime: rec.Time(), Blocks: n,
+			points = append(points, DrainPoint{
+				Label:   fmt.Sprintf("fig16 llc=%dMB/%v", size>>20, s),
+				Config:  c,
+				Scheme:  s,
+				Recover: true,
 			})
 		}
+	}
+	prs, err := RunDrainGrid(ctx, points, opts)
+
+	var out Fig16
+	for i, pr := range prs {
+		if pr.Err != nil || pr.Recovery == nil {
+			continue
+		}
+		out.Points = append(out.Points, Fig16Point{
+			LLCBytes: llcSizes[i/2], Scheme: pr.Point.Scheme,
+			RecoveryTime: pr.Recovery.Time(), Blocks: pr.Result.BlocksDrained,
+		})
+	}
+	if err != nil {
+		return out, fmt.Errorf("horus: Fig16: %w", err)
 	}
 	return out, nil
 }
@@ -394,7 +460,12 @@ type Table2 struct {
 
 // RunTable2 regenerates Table II.
 func RunTable2(cfg Config) (Table2, error) {
-	ds, err := RunDrainSet(cfg, Table2Schemes())
+	return RunTable2Ctx(context.Background(), cfg, SweepOptions{})
+}
+
+// RunTable2Ctx regenerates Table II through the episode engine.
+func RunTable2Ctx(ctx context.Context, cfg Config, opts SweepOptions) (Table2, error) {
+	ds, err := RunDrainSetCtx(ctx, cfg, Table2Schemes(), opts)
 	if err != nil {
 		return Table2{}, err
 	}
@@ -433,7 +504,12 @@ type Table3 struct {
 
 // RunTable3 regenerates Table III from a Table II run.
 func RunTable3(cfg Config) (Table3, error) {
-	t2, err := RunTable2(cfg)
+	return RunTable3Ctx(context.Background(), cfg, SweepOptions{})
+}
+
+// RunTable3Ctx regenerates Table III through the episode engine.
+func RunTable3Ctx(ctx context.Context, cfg Config, opts SweepOptions) (Table3, error) {
+	t2, err := RunTable2Ctx(ctx, cfg, opts)
 	if err != nil {
 		return Table3{}, err
 	}
@@ -474,7 +550,12 @@ type Headline struct {
 
 // RunHeadline computes the abstract's three claims.
 func RunHeadline(cfg Config) (Headline, error) {
-	ds, err := RunDrainSet(cfg, []Scheme{BaseLU, HorusSLM})
+	return RunHeadlineCtx(context.Background(), cfg, SweepOptions{})
+}
+
+// RunHeadlineCtx computes the abstract's claims through the episode engine.
+func RunHeadlineCtx(ctx context.Context, cfg Config, opts SweepOptions) (Headline, error) {
+	ds, err := RunDrainSetCtx(ctx, cfg, []Scheme{BaseLU, HorusSLM}, opts)
 	if err != nil {
 		return Headline{}, err
 	}
@@ -501,23 +582,16 @@ func (h Headline) Table() *report.Table {
 // ---------------------------------------------------------------------------
 // Recovery helper used by Fig. 16 above and by RunRecovery.
 
-// RunRecovery is the one-shot drain + crash + recover round trip.
+// RunRecovery is the one-shot drain + crash + recover round trip: a
+// single-point grid over the episode engine.
 func RunRecovery(cfg Config, scheme Scheme) (Result, RecoveryReport, error) {
-	sys := NewSystem(cfg, scheme)
-	if err := sys.Warmup(); err != nil {
-		return Result{}, RecoveryReport{}, err
-	}
-	sys.Fill()
-	res, err := sys.Drain()
+	prs, err := RunDrainGrid(context.Background(),
+		[]DrainPoint{{Config: cfg, Scheme: scheme, Recover: true}}, SweepOptions{})
+	pr := prs[0]
 	if err != nil {
-		return Result{}, RecoveryReport{}, err
+		return pr.Result, RecoveryReport{}, pr.Err
 	}
-	sys.Crash()
-	rec, err := sys.Recover(res.Persist)
-	if err != nil {
-		return res, RecoveryReport{}, err
-	}
-	return res, rec, nil
+	return pr.Result, *pr.Recovery, nil
 }
 
 // Ensure the recovery package's error type is visible to API users who

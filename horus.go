@@ -37,6 +37,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/secmem"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // MetricsRegistry collects counters, gauges, histograms and lifecycle spans
@@ -49,8 +50,58 @@ type MetricsRegistry = obs.Registry
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
+// Episode engine re-exports (from the internal sweep package). Experiment
+// grids (RunDrainSet, RunLLCSweep, the figure runners) route through this
+// engine; the generic forms below let API users run their own episode
+// grids with the same worker pool, cancellation, seeding and metrics-merge
+// semantics. See DESIGN.md §8.
+type (
+	// SweepRunner executes episode grids on a bounded worker pool.
+	SweepRunner = sweep.Runner
+	// SweepRunnerOptions parameterises a SweepRunner (workers, timeout,
+	// base seed, merged metrics sink).
+	SweepRunnerOptions = sweep.Options
+	// Episode is one unit of work in a sweep.
+	Episode = sweep.Episode
+	// EpisodeEnv is the per-episode environment (index, derived seed,
+	// private metrics registry).
+	EpisodeEnv = sweep.Env
+	// EpisodeResult is one episode's outcome.
+	EpisodeResult = sweep.Result
+	// SweepError aggregates the per-episode failures of a grid; completed
+	// results are returned alongside it.
+	SweepError = sweep.Error
+	// EpisodePanicError wraps a panic captured inside an episode.
+	EpisodePanicError = sweep.PanicError
+)
+
+// NewSweepRunner returns the generic episode engine.
+func NewSweepRunner(opts SweepRunnerOptions) *SweepRunner { return sweep.New(opts) }
+
+// DeriveSeed maps (base seed, episode index) to a stable, independent
+// per-episode seed (the engine's determinism primitive).
+func DeriveSeed(base int64, index int) int64 { return sweep.DeriveSeed(base, index) }
+
 // Scheme identifies a draining design (re-exported from the core package).
 type Scheme = core.Scheme
+
+// DrainScheme is the pluggable behavior behind a Scheme handle; custom
+// designs register with RegisterScheme and participate in every experiment
+// grid like the built-ins.
+type DrainScheme = core.DrainScheme
+
+// RegisterScheme adds a draining design to the registry and returns its
+// Scheme handle. The factory runs once per drainer, so implementations may
+// keep per-episode state. Duplicate names panic.
+func RegisterScheme(name string, factory func() DrainScheme) Scheme {
+	return core.Register(name, factory)
+}
+
+// LookupScheme resolves a registered scheme by its name (e.g. "Horus-SLM").
+func LookupScheme(name string) (Scheme, error) { return core.Lookup(name) }
+
+// SchemeNames lists every registered scheme name in registration order.
+func SchemeNames() []string { return core.SchemeNames() }
 
 // The paper's five designs.
 const (

@@ -33,10 +33,15 @@ import (
 	"repro/internal/sim"
 )
 
-// Scheme selects a draining design.
+// Scheme selects a draining design: a handle into the registry of
+// DrainScheme implementations (see registry.go). Handles are small dense
+// ints assigned in registration order, so the built-in designs keep their
+// historical constant values.
 type Scheme int
 
-// Draining schemes compared in the paper's evaluation (§V-A).
+// Draining schemes compared in the paper's evaluation (§V-A). Their
+// behavior lives in registered DrainScheme implementations; registration
+// order in registry.go pins these handles.
 const (
 	NonSecure Scheme = iota
 	BaseLU
@@ -45,33 +50,37 @@ const (
 	HorusDLM
 )
 
-var schemeNames = map[Scheme]string{
-	NonSecure: "NonSecure",
-	BaseLU:    "Base-LU",
-	BaseEU:    "Base-EU",
-	HorusSLM:  "Horus-SLM",
-	HorusDLM:  "Horus-DLM",
-}
-
-// String returns the paper's name for the scheme.
+// String returns the registered name for the scheme.
 func (s Scheme) String() string {
-	if n, ok := schemeNames[s]; ok {
-		return n
+	if impl, ok := implOf(s); ok {
+		return impl.Name()
 	}
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
-// Secure reports whether the scheme provides memory security.
-func (s Scheme) Secure() bool { return s != NonSecure }
+// Secure reports whether the scheme provides memory security. Unregistered
+// handles report true (fail safe: an unknown design is assumed to need the
+// secure controller).
+func (s Scheme) Secure() bool {
+	if impl, ok := implOf(s); ok {
+		return impl.Secure()
+	}
+	return s != NonSecure
+}
 
 // UsesCHV reports whether the scheme drains into the cache hierarchy vault.
-func (s Scheme) UsesCHV() bool { return s == HorusSLM || s == HorusDLM }
+func (s Scheme) UsesCHV() bool {
+	if impl, ok := implOf(s); ok {
+		return impl.UsesCHV()
+	}
+	return false
+}
 
 // RuntimeScheme returns the integrity-tree update scheme the design runs at
 // run time (and, for the baselines, during draining).
 func (s Scheme) RuntimeScheme() secmem.UpdateScheme {
-	if s == BaseEU {
-		return secmem.EagerUpdate
+	if impl, ok := implOf(s); ok {
+		return impl.RuntimeScheme()
 	}
 	return secmem.LazyUpdate
 }
@@ -160,6 +169,7 @@ type System struct {
 // Drainer executes one draining episode for a given scheme.
 type Drainer struct {
 	scheme Scheme
+	impl   DrainScheme
 	sys    *System
 
 	// Horus on-chip resources (Fig. 9, Fig. 10, §IV-D).
@@ -171,15 +181,19 @@ type Drainer struct {
 
 // NewDrainer returns a drainer for the scheme over the system. The initial
 // drain-counter value persists from previous episodes (pass 0 for a fresh
-// machine).
+// machine). The scheme must be registered (the five built-ins always are).
 func NewDrainer(scheme Scheme, sys *System, initialDC uint64) *Drainer {
 	if sys.Layout == nil || sys.Enc == nil || sys.NVM == nil {
 		panic("core: incomplete system")
 	}
-	if scheme.Secure() && sys.Sec == nil {
+	impl, ok := newImpl(scheme)
+	if !ok {
+		panic("core: unknown scheme " + scheme.String())
+	}
+	if impl.Secure() && sys.Sec == nil {
 		panic("core: secure schemes need a secmem controller")
 	}
-	return &Drainer{scheme: scheme, sys: sys, dc: initialDC}
+	return &Drainer{scheme: scheme, impl: impl, sys: sys, dc: initialDC}
 }
 
 // Drain flushes every dirty block of the hierarchy (in the given flush
@@ -200,18 +214,7 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 	drainSpan := reg.StartSpan("drain", 0)
 	blocksSpan := reg.StartSpan("flush-blocks", 0)
 
-	var t sim.Time
-	var err error
-	switch d.scheme {
-	case NonSecure:
-		t = d.drainNonSecure(blocks)
-	case BaseLU, BaseEU:
-		t, err = d.drainBaseline(blocks)
-	case HorusSLM, HorusDLM:
-		t = d.drainHorus(blocks)
-	default:
-		panic("core: unknown scheme " + d.scheme.String())
-	}
+	t, err := d.impl.Drain(d, blocks)
 	if err != nil {
 		drainSpan.EndAt(int64(t))
 		return Result{}, err
@@ -221,7 +224,7 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 	// Flush the security-metadata caches (negligible for all schemes per
 	// Fig. 12, but required for crash consistency).
 	var vault secmem.VaultRecord
-	if d.scheme.Secure() {
+	if d.impl.Secure() {
 		metaSpan := reg.StartSpan("flush-metadata", int64(t))
 		var done sim.Time
 		vault, done = d.sys.Sec.FlushMetadataCaches(t)
@@ -272,9 +275,10 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 	return res, nil
 }
 
-// drainNonSecure writes every dirty line in place with no protection
-// (Fig. 8 part A).
-func (d *Drainer) drainNonSecure(blocks []hierarchy.DirtyBlock) sim.Time {
+// DrainInPlace writes every dirty line in place with no protection
+// (Fig. 8 part A) — the NonSecure drain primitive, exported for registered
+// scheme variants to compose.
+func (d *Drainer) DrainInPlace(blocks []hierarchy.DirtyBlock) sim.Time {
 	var t sim.Time
 	for _, b := range blocks {
 		done := d.sys.NVM.Write(0, b.Addr, b.Data, mem.CatData)
@@ -283,10 +287,11 @@ func (d *Drainer) drainNonSecure(blocks []hierarchy.DirtyBlock) sim.Time {
 	return t
 }
 
-// drainBaseline pushes every dirty line through the run-time secure write
+// DrainBaseline pushes every dirty line through the run-time secure write
 // path: counter fetch and verification walk, counter increment, tree update
 // (lazy or eager), data-MAC update, encrypt, write in place (Fig. 8 part B).
-func (d *Drainer) drainBaseline(blocks []hierarchy.DirtyBlock) (sim.Time, error) {
+// The update scheme (lazy/eager) is the secure controller's configured one.
+func (d *Drainer) DrainBaseline(blocks []hierarchy.DirtyBlock) (sim.Time, error) {
 	var t sim.Time
 	for _, b := range blocks {
 		done, err := d.sys.Sec.WriteBlock(0, b.Addr, b.Data)

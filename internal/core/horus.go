@@ -17,7 +17,9 @@ import (
 // address, preserving pad uniqueness across run time and draining.
 const DrainPadDomain = uint64(1) << 63
 
-// drainHorus drains the hierarchy into the CHV (Fig. 9):
+// DrainCHV drains the hierarchy into the CHV (Fig. 9) — the Horus drain
+// primitive, exported for registered scheme variants to compose. dlm
+// selects the double-level MAC coalescing of Horus-DLM (Fig. 10):
 //
 //  1. each flushed block is encrypted with the drain counter (DC) as the
 //     counter-mode IV, DC incrementing per flush;
@@ -29,14 +31,13 @@ const DrainPadDomain = uint64(1) << 63
 //     64 drained blocks (Fig. 10);
 //  4. ciphertext, address and MAC blocks are written sequentially to the
 //     CHV — no run-time security metadata is read, verified or updated.
-func (d *Drainer) drainHorus(blocks []hierarchy.DirtyBlock) sim.Time {
+func (d *Drainer) DrainCHV(blocks []hierarchy.DirtyBlock, dlm bool) sim.Time {
 	lay := d.sys.Layout
 	if uint64(len(blocks)) > lay.CHVCapacity {
 		panic(fmt.Sprintf("core: %d blocks exceed CHV capacity %d", len(blocks), lay.CHVCapacity))
 	}
 	sec := d.sys.Sec
 	nvm := d.sys.NVM
-	dlm := d.scheme == HorusDLM
 
 	var t sim.Time
 	var addrReg [8]uint64 // address-coalescing register (§IV-D)

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/hierarchy"
+	"repro/internal/secmem"
+	"repro/internal/sim"
+)
+
+// DrainScheme is the pluggable behavior of one draining design: its
+// identity, its security properties, and the drain algorithm itself. The
+// paper's five designs are registered implementations (see init below);
+// ablation variants register additional ones instead of growing a switch.
+//
+// Drain receives the Drainer executing the episode and may use its exported
+// primitives (DrainInPlace, DrainBaseline, DrainCHV) or drive the System
+// directly for novel designs.
+type DrainScheme interface {
+	// Name is the design's presentation name (e.g. "Horus-SLM"); it is the
+	// registry key and must be unique.
+	Name() string
+	// Secure reports whether the design provides memory security.
+	Secure() bool
+	// UsesCHV reports whether the design drains into the cache hierarchy
+	// vault (and therefore recovers by reading it back).
+	UsesCHV() bool
+	// RuntimeScheme is the integrity-tree update scheme the design runs at
+	// run time (and, for the baselines, during draining).
+	RuntimeScheme() secmem.UpdateScheme
+	// Drain flushes the dirty blocks and returns the completion time of the
+	// last data write (metadata flush and accounting are the Drainer's job).
+	Drain(d *Drainer, blocks []hierarchy.DirtyBlock) (sim.Time, error)
+}
+
+// The registry maps Scheme handles (small dense ints, stable within a
+// process) to registered implementations and back from names.
+var (
+	regMu        sync.RWMutex
+	regFactories []func() DrainScheme // index = Scheme handle
+	regProto     []DrainScheme        // one instance per scheme for property queries
+	regByName    = make(map[string]Scheme)
+)
+
+// Register adds a draining design under its factory's Name and returns the
+// Scheme handle that selects it. The factory is invoked once per Drainer so
+// implementations may keep per-episode state. Registering a duplicate name
+// panics: scheme identity is a program invariant, not a runtime input.
+func Register(name string, factory func() DrainScheme) Scheme {
+	proto := factory()
+	if proto == nil {
+		panic("core: Register called with a factory returning nil")
+	}
+	if proto.Name() != name {
+		panic(fmt.Sprintf("core: Register name %q does not match implementation name %q", name, proto.Name()))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByName[name]; dup {
+		panic("core: duplicate scheme registration: " + name)
+	}
+	s := Scheme(len(regFactories))
+	regFactories = append(regFactories, factory)
+	regProto = append(regProto, proto)
+	regByName[name] = s
+	return s
+}
+
+// Lookup resolves a registered scheme by name.
+func Lookup(name string) (Scheme, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if s, ok := regByName[name]; ok {
+		return s, nil
+	}
+	names := make([]string, 0, len(regByName))
+	for n := range regByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return 0, fmt.Errorf("core: unknown scheme %q (registered: %v)", name, names)
+}
+
+// SchemeNames lists every registered scheme name in registration order.
+func SchemeNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, len(regProto))
+	for i, p := range regProto {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// implOf returns the registered prototype for property queries.
+func implOf(s Scheme) (DrainScheme, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if s < 0 || int(s) >= len(regProto) {
+		return nil, false
+	}
+	return regProto[s], true
+}
+
+// newImpl instantiates a fresh implementation for a Drainer.
+func newImpl(s Scheme) (DrainScheme, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if s < 0 || int(s) >= len(regFactories) {
+		return nil, false
+	}
+	return regFactories[s](), true
+}
+
+// ---------------------------------------------------------------------------
+// Built-in designs (the paper's five), registered so their Scheme handles
+// equal the package constants.
+
+type nonSecureScheme struct{}
+
+func (nonSecureScheme) Name() string                       { return "NonSecure" }
+func (nonSecureScheme) Secure() bool                       { return false }
+func (nonSecureScheme) UsesCHV() bool                      { return false }
+func (nonSecureScheme) RuntimeScheme() secmem.UpdateScheme { return secmem.LazyUpdate }
+func (nonSecureScheme) Drain(d *Drainer, blocks []hierarchy.DirtyBlock) (sim.Time, error) {
+	return d.DrainInPlace(blocks), nil
+}
+
+type baselineScheme struct {
+	name   string
+	update secmem.UpdateScheme
+}
+
+func (b baselineScheme) Name() string                       { return b.name }
+func (baselineScheme) Secure() bool                         { return true }
+func (baselineScheme) UsesCHV() bool                        { return false }
+func (b baselineScheme) RuntimeScheme() secmem.UpdateScheme { return b.update }
+func (baselineScheme) Drain(d *Drainer, blocks []hierarchy.DirtyBlock) (sim.Time, error) {
+	return d.DrainBaseline(blocks)
+}
+
+type horusScheme struct {
+	name string
+	dlm  bool
+}
+
+func (h horusScheme) Name() string                     { return h.name }
+func (horusScheme) Secure() bool                       { return true }
+func (horusScheme) UsesCHV() bool                      { return true }
+func (horusScheme) RuntimeScheme() secmem.UpdateScheme { return secmem.LazyUpdate }
+func (h horusScheme) Drain(d *Drainer, blocks []hierarchy.DirtyBlock) (sim.Time, error) {
+	return d.DrainCHV(blocks, h.dlm), nil
+}
+
+func init() {
+	// Registration order fixes the handles; they must equal the exported
+	// constants (NonSecure = 0 ... HorusDLM = 4).
+	for _, reg := range []struct {
+		want    Scheme
+		name    string
+		factory func() DrainScheme
+	}{
+		{NonSecure, "NonSecure", func() DrainScheme { return nonSecureScheme{} }},
+		{BaseLU, "Base-LU", func() DrainScheme { return baselineScheme{"Base-LU", secmem.LazyUpdate} }},
+		{BaseEU, "Base-EU", func() DrainScheme { return baselineScheme{"Base-EU", secmem.EagerUpdate} }},
+		{HorusSLM, "Horus-SLM", func() DrainScheme { return horusScheme{"Horus-SLM", false} }},
+		{HorusDLM, "Horus-DLM", func() DrainScheme { return horusScheme{"Horus-DLM", true} }},
+	} {
+		if got := Register(reg.name, reg.factory); got != reg.want {
+			panic(fmt.Sprintf("core: built-in scheme %s registered as %d, want %d", reg.name, got, reg.want))
+		}
+	}
+}

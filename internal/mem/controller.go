@@ -77,10 +77,22 @@ func (c *Controller) AddObserver(o Observer) {
 	}
 }
 
+// RemoveObserver detaches a previously added observer (compared by
+// identity). Unknown observers are ignored.
+func (c *Controller) RemoveObserver(o Observer) {
+	for i, cur := range c.observers {
+		if cur == o {
+			c.observers = append(c.observers[:i], c.observers[i+1:]...)
+			return
+		}
+	}
+}
+
 // SetObserver replaces all observers with o (or removes them all, with nil).
 //
-// Deprecated: use AddObserver; SetObserver remains for callers that relied
-// on the original single-slot semantics.
+// Deprecated: use AddObserver (and RemoveObserver to detach); SetObserver
+// remains only for callers that relied on the original single-slot
+// semantics and is slated for removal (DESIGN.md §7).
 func (c *Controller) SetObserver(o Observer) {
 	c.observers = c.observers[:0]
 	c.AddObserver(o)

@@ -1,6 +1,9 @@
 package horus
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/energy"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -86,4 +89,48 @@ func PlanBattery(cfg Config, scheme Scheme) BatteryPlan {
 	p.SuperCapCm3 = energy.Volume(p.EnergyJ, energy.SuperCap)
 	p.LiThinCm3 = energy.Volume(p.EnergyJ, energy.LiThin)
 	return p
+}
+
+// PlanValidation pairs a closed-form battery plan with the simulated
+// draining episode it estimates, and the hold-up estimate error.
+type PlanValidation struct {
+	Scheme    Scheme
+	Plan      BatteryPlan
+	Simulated Result
+	// ErrorPct is (estimate - simulated)/simulated hold-up, in percent.
+	ErrorPct float64
+}
+
+// ValidatePlans simulates a draining episode per scheme and compares it to
+// PlanBattery's closed-form estimate.
+func ValidatePlans(cfg Config, schemes []Scheme) ([]PlanValidation, error) {
+	return ValidatePlansCtx(context.Background(), cfg, schemes, SweepOptions{})
+}
+
+// ValidatePlansCtx is ValidatePlans through the episode engine: one grid
+// point per scheme, run on the engine's worker pool. On failure it returns
+// the validations that completed alongside the aggregate error.
+func ValidatePlansCtx(ctx context.Context, cfg Config, schemes []Scheme, opts SweepOptions) ([]PlanValidation, error) {
+	points := make([]DrainPoint, len(schemes))
+	for i, s := range schemes {
+		points[i] = DrainPoint{Label: "validate/" + s.String(), Config: cfg, Scheme: s}
+	}
+	prs, err := RunDrainGrid(ctx, points, opts)
+	var out []PlanValidation
+	for i, pr := range prs {
+		if pr.Err != nil {
+			continue
+		}
+		p := PlanBattery(cfg, schemes[i])
+		out = append(out, PlanValidation{
+			Scheme:    schemes[i],
+			Plan:      p,
+			Simulated: pr.Result,
+			ErrorPct:  100 * (float64(p.DrainTime) - float64(pr.Result.DrainTime)) / float64(pr.Result.DrainTime),
+		})
+	}
+	if err != nil {
+		return out, fmt.Errorf("horus: plan validation: %w", err)
+	}
+	return out, nil
 }
