@@ -177,6 +177,7 @@ type Drainer struct {
 	edc      uint64 // ephemeral drain counter register (persistent)
 	episodes uint64 // completed draining episodes (persistent)
 	region   uint64 // CHV rotation region of the episode in progress
+	startDC  uint64 // dc value at entry of the episode in progress
 }
 
 // NewDrainer returns a drainer for the scheme over the system. The initial
@@ -209,11 +210,13 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 
 	// Wear levelling: rotate the CHV target region per episode.
 	d.region = d.episodes % d.sys.Layout.CHVRegions
+	d.startDC = d.dc
 
 	reg := d.sys.Metrics
 	drainSpan := reg.StartSpan("drain", 0)
 	blocksSpan := reg.StartSpan("flush-blocks", 0)
 
+	d.sys.NVM.MarkStage("drain:blocks")
 	t, err := d.impl.Drain(d, blocks)
 	if err != nil {
 		drainSpan.EndAt(int64(t))
@@ -225,6 +228,7 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 	// Fig. 12, but required for crash consistency).
 	var vault secmem.VaultRecord
 	if d.impl.Secure() {
+		d.sys.NVM.MarkStage("drain:meta-flush")
 		metaSpan := reg.StartSpan("flush-metadata", int64(t))
 		var done sim.Time
 		vault, done = d.sys.Sec.FlushMetadataCaches(t)
@@ -273,6 +277,30 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 		d.sys.Sec.PublishMetrics("drain", t)
 	}
 	return res, nil
+}
+
+// PersistSnapshot returns the persistent-register state as it stands right
+// now, mid-episode: what a crash at this instant would leave for recovery.
+// DC is the current drain-counter register; EDC counts the flush operations
+// issued so far in the episode in progress (for CHV schemes the register
+// increments at flush-issue, so a crash mid-write legitimately leaves EDC
+// one past the durable frontier — recovery detects the torn tail via MAC
+// verification). The metadata-cache vault record is zero: the snapshot
+// predates (or interrupts) the end-of-drain metadata flush, so no complete
+// vault exists. The fault-injection torture harness captures this from an
+// injector's OnCut callback.
+func (d *Drainer) PersistSnapshot() PersistentState {
+	ps := PersistentState{
+		DC:        d.dc,
+		EDC:       d.dc - d.startDC,
+		Episode:   d.episodes,
+		CHVRegion: d.region,
+		Scheme:    d.scheme,
+	}
+	if d.sys.Sec != nil {
+		ps.Root = d.sys.Sec.RootRegister()
+	}
+	return ps
 }
 
 // DrainInPlace writes every dirty line in place with no protection

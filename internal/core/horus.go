@@ -38,6 +38,7 @@ func (d *Drainer) DrainCHV(blocks []hierarchy.DirtyBlock, dlm bool) sim.Time {
 	}
 	sec := d.sys.Sec
 	nvm := d.sys.NVM
+	nvm.MarkStage("drain:chv-stream")
 
 	var t sim.Time
 	var addrReg [8]uint64 // address-coalescing register (§IV-D)
@@ -111,6 +112,7 @@ func (d *Drainer) DrainCHV(blocks []hierarchy.DirtyBlock, dlm bool) sim.Time {
 	}
 
 	// Tail: flush partially filled registers.
+	nvm.MarkStage("drain:chv-tail")
 	n := len(blocks)
 	if n > 0 {
 		last := uint64(n - 1)

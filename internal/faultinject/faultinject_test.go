@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestCountingPassNeverFires(t *testing.T) {
+	in := NewInjector(CrashPlan{Step: -1, Flavor: CleanCut})
+	for i := 0; i < 10; i++ {
+		if f := in.OnWrite(uint64(i*64), mem.CatData); f.Kind != mem.FaultNone {
+			t.Fatalf("counting pass injected %v at write %d", f.Kind, i)
+		}
+	}
+	if in.Steps() != 10 {
+		t.Fatalf("Steps() = %d, want 10", in.Steps())
+	}
+	if _, fired := in.Fired(); fired {
+		t.Fatal("counting pass reported fired")
+	}
+}
+
+func TestCleanCutSuppressesTail(t *testing.T) {
+	cutSeen := false
+	in := NewInjector(CrashPlan{Step: 3, Flavor: CleanCut})
+	in.OnCut = func() { cutSeen = true }
+	kinds := make([]mem.FaultKind, 0, 6)
+	for i := 0; i < 6; i++ {
+		kinds = append(kinds, in.OnWrite(uint64(i*64), mem.CatCHVData).Kind)
+	}
+	want := []mem.FaultKind{mem.FaultNone, mem.FaultNone, mem.FaultNone, mem.FaultCut, mem.FaultCut, mem.FaultCut}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("write %d fault = %v, want %v (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+	if !cutSeen {
+		t.Fatal("OnCut was not invoked")
+	}
+	info, fired := in.Fired()
+	if !fired || info.Step != 3 || info.Addr != 3*64 || info.Cat != string(mem.CatCHVData) {
+		t.Fatalf("Fired() = %+v, %v", info, fired)
+	}
+}
+
+func TestTornWriteInterruptsAndDerivesPrefix(t *testing.T) {
+	in := NewInjector(CrashPlan{Step: 1, Flavor: TornWrite, Seed: 7})
+	in.OnWrite(0, mem.CatData)
+	f := in.OnWrite(64, mem.CatData)
+	if f.Kind != mem.FaultTear {
+		t.Fatalf("fault = %v, want tear", f.Kind)
+	}
+	if f.TornBytes < 1 || f.TornBytes >= mem.BlockSize {
+		t.Fatalf("TornBytes = %d, want in [1,%d)", f.TornBytes, mem.BlockSize)
+	}
+	if tail := in.OnWrite(128, mem.CatData); tail.Kind != mem.FaultCut {
+		t.Fatalf("post-tear write fault = %v, want cut", tail.Kind)
+	}
+}
+
+func TestCompletingFlavorsFireOnce(t *testing.T) {
+	for _, flavor := range []Flavor{BitFlip, DroppedWrite} {
+		in := NewInjector(CrashPlan{Step: 2, Flavor: flavor, Seed: 42})
+		var fired int
+		for i := 0; i < 8; i++ {
+			if f := in.OnWrite(uint64(i*64), mem.CatMAC); f.Kind != mem.FaultNone {
+				fired++
+				if i != 2 {
+					t.Fatalf("%v fired at write %d, want 2", flavor, i)
+				}
+			}
+		}
+		if fired != 1 {
+			t.Fatalf("%v fired %d times, want 1", flavor, fired)
+		}
+		if flavor.Interrupting() {
+			t.Fatalf("%v claims to be interrupting", flavor)
+		}
+	}
+}
+
+func TestInjectorDeterministicParams(t *testing.T) {
+	get := func() mem.Fault {
+		in := NewInjector(CrashPlan{Step: 0, Flavor: BitFlip, Seed: 99})
+		return in.OnWrite(0, mem.CatData)
+	}
+	a, b := get(), get()
+	if a != b {
+		t.Fatalf("same plan produced different faults: %+v vs %+v", a, b)
+	}
+	in2 := NewInjector(CrashPlan{Step: 0, Flavor: BitFlip, Seed: 100})
+	if c := in2.OnWrite(0, mem.CatData); c == a {
+		t.Log("different seeds gave the same flip parameters (possible but unlikely)")
+	}
+}
+
+func TestParseFlavors(t *testing.T) {
+	all, err := ParseFlavors("all")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ParseFlavors(all) = %v, %v", all, err)
+	}
+	got, err := ParseFlavors("bit-flip, clean-cut")
+	if err != nil || len(got) != 2 || got[0] != BitFlip || got[1] != CleanCut {
+		t.Fatalf("ParseFlavors = %v, %v", got, err)
+	}
+	if _, err := ParseFlavors("nope"); err == nil {
+		t.Fatal("unknown flavor did not error")
+	}
+}
+
+func TestSampleSteps(t *testing.T) {
+	if got := SampleSteps(5, 1, 0); len(got) != 5 {
+		t.Fatalf("full sample = %v", got)
+	}
+	got := SampleSteps(100, 7, 0)
+	if got[0] != 0 || got[len(got)-1] != 99 {
+		t.Fatalf("stride sample missing endpoints: %v", got)
+	}
+	capped := SampleSteps(100, 1, 10)
+	if len(capped) > 10 || capped[0] != 0 || capped[len(capped)-1] != 99 {
+		t.Fatalf("capped sample = %v", capped)
+	}
+	if got := SampleSteps(50, 1, 1); len(got) != 1 {
+		t.Fatalf("max=1 sample = %v", got)
+	}
+	if got := SampleSteps(0, 1, 0); got != nil {
+		t.Fatalf("empty episode sample = %v", got)
+	}
+}
+
+func TestOutcomeContract(t *testing.T) {
+	for _, o := range []Outcome{OutcomeRestored, OutcomePartial, OutcomeDetected} {
+		if !o.OK() {
+			t.Fatalf("%v should satisfy the contract", o)
+		}
+	}
+	for _, o := range []Outcome{OutcomeSilentCorruption, OutcomeInternalError} {
+		if o.OK() {
+			t.Fatalf("%v should fail the contract", o)
+		}
+	}
+}

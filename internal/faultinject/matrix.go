@@ -1,0 +1,51 @@
+package faultinject
+
+// Outcome classifies one crash-matrix cell: what recovery produced after a
+// drain episode was faulted by a CrashPlan. The contract (paper §IV-C,
+// §IV-E) is that every cell must end in Restored, Partial, or Detected —
+// SilentCorruption and InternalError are matrix failures.
+type Outcome int
+
+const (
+	// OutcomeRestored: recovery reproduced the golden image byte-for-byte.
+	OutcomeRestored Outcome = iota
+	// OutcomePartial: an interrupting crash left some blocks at their
+	// authentic pre-drain value (never persisted) while every recovered
+	// block verified and matched golden. This is the expected result of
+	// a power cut partway through a drain: data that never reached the
+	// persistence domain is legitimately lost, not corrupted.
+	OutcomePartial
+	// OutcomeDetected: recovery (or post-recovery verification) returned
+	// a typed detection error — the corruption was caught, as the
+	// integrity machinery promises.
+	OutcomeDetected
+	// OutcomeSilentCorruption: recovery "succeeded" but produced bytes
+	// that are neither golden nor authentic-stale, or a completed drain
+	// lost data without any error. The failure the matrix exists to find.
+	OutcomeSilentCorruption
+	// OutcomeInternalError: recovery failed with an untyped error or
+	// panic — a harness/implementation bug, not a detection.
+	OutcomeInternalError
+)
+
+// String names the outcome for report tables.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeRestored:
+		return "restored"
+	case OutcomePartial:
+		return "partial"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeSilentCorruption:
+		return "SILENT-CORRUPTION"
+	case OutcomeInternalError:
+		return "INTERNAL-ERROR"
+	}
+	return "unknown"
+}
+
+// OK reports whether the outcome satisfies the recoverability contract.
+func (o Outcome) OK() bool {
+	return o == OutcomeRestored || o == OutcomePartial || o == OutcomeDetected
+}

@@ -67,6 +67,7 @@ type Controller struct {
 
 	observers []Observer     // access tracers, notified in registration order
 	m         *accessMetrics // optional per-access instrumentation
+	fault     FaultInjector  // optional write-fault injection (torture harness)
 }
 
 // AddObserver appends an access observer. Observers are notified of every
@@ -86,16 +87,6 @@ func (c *Controller) RemoveObserver(o Observer) {
 			return
 		}
 	}
-}
-
-// SetObserver replaces all observers with o (or removes them all, with nil).
-//
-// Deprecated: use AddObserver (and RemoveObserver to detach); SetObserver
-// remains only for callers that relied on the original single-slot
-// semantics and is slated for removal (DESIGN.md §7).
-func (c *Controller) SetObserver(o Observer) {
-	c.observers = c.observers[:0]
-	c.AddObserver(o)
 }
 
 // accessMetrics caches metric handles so the per-access hot path does no
@@ -198,7 +189,10 @@ func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim
 }
 
 // Write performs a timed, counted write of b to addr. The returned time is
-// when the write is durable in the NVM.
+// when the write is durable in the NVM. With a fault injector installed, the
+// issued access is still timed, counted and observed (the command went out on
+// the bus), but the content that lands on the medium is the injector's
+// faulted view — possibly torn, bit-flipped, or not committed at all.
 func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) sim.Time {
 	c.writes.Add(string(cat), 1)
 	c.wear[addr]++
@@ -212,6 +206,15 @@ func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) s
 	}
 	for _, o := range c.observers {
 		o.OnAccess("write", done, addr, string(cat))
+	}
+	if c.fault != nil {
+		if f := c.fault.OnWrite(addr, cat); f.Kind != FaultNone {
+			nb, commit := applyFault(f, c.store.ReadBlock(addr), b)
+			if commit {
+				c.store.WriteBlock(addr, nb)
+			}
+			return done
+		}
 	}
 	c.store.WriteBlock(addr, b)
 	return done

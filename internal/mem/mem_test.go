@@ -218,21 +218,120 @@ func TestObserverFanOutOrdering(t *testing.T) {
 	}
 }
 
-func TestSetObserverReplacesAll(t *testing.T) {
-	c := NewController(DefaultConfig())
-	var log []int
-	c.AddObserver(&orderObserver{1, &log})
-	c.AddObserver(&orderObserver{2, &log})
-	// The deprecated single-slot setter replaces every registered observer.
-	c.SetObserver(&orderObserver{9, &log})
-	c.Write(0, 0, Block{}, CatData)
-	if len(log) != 1 || log[0] != 9 {
-		t.Fatalf("after SetObserver, calls = %v, want [9]", log)
+// scriptInjector returns a fixed fault for one write index and records the
+// stages it saw.
+type scriptInjector struct {
+	n      int
+	at     int
+	fault  Fault
+	stages []string
+}
+
+func (s *scriptInjector) OnWrite(addr uint64, cat Category) Fault {
+	idx := s.n
+	s.n++
+	if idx == s.at {
+		return s.fault
 	}
-	c.SetObserver(nil)
-	c.Write(0, 64, Block{}, CatData)
-	if len(log) != 1 {
-		t.Fatal("SetObserver(nil) did not clear the observers")
+	if s.fault.Kind == FaultCut && idx > s.at {
+		return s.fault // a cut suppresses everything after it, too
+	}
+	return Fault{}
+}
+
+func (s *scriptInjector) OnStage(stage string) { s.stages = append(s.stages, stage) }
+
+func TestFaultInjectorApplication(t *testing.T) {
+	pat := func(v byte) Block {
+		var b Block
+		for i := range b {
+			b[i] = v
+		}
+		return b
+	}
+	old, new1, new2 := pat(0xAA), pat(0x11), pat(0x22)
+
+	t.Run("drop keeps old content", func(t *testing.T) {
+		c := NewController(DefaultConfig())
+		c.Write(0, 0, old, CatData)
+		c.SetFaultInjector(&scriptInjector{at: 0, fault: Fault{Kind: FaultDrop}})
+		c.Write(0, 0, new1, CatData)
+		if got := c.PeekRead(0); got != old {
+			t.Fatalf("dropped write changed content: got %x", got[0])
+		}
+		if c.TotalWrites() != 2 {
+			t.Fatalf("writes = %d, want 2 (the dropped write is still issued)", c.TotalWrites())
+		}
+	})
+
+	t.Run("tear mixes new prefix with old suffix", func(t *testing.T) {
+		c := NewController(DefaultConfig())
+		c.Write(0, 0, old, CatData)
+		c.SetFaultInjector(&scriptInjector{at: 0, fault: Fault{Kind: FaultTear, TornBytes: 8}})
+		c.Write(0, 0, new1, CatData)
+		got := c.PeekRead(0)
+		for i := 0; i < 8; i++ {
+			if got[i] != new1[i] {
+				t.Fatalf("byte %d = %x, want new %x", i, got[i], new1[i])
+			}
+		}
+		for i := 8; i < BlockSize; i++ {
+			if got[i] != old[i] {
+				t.Fatalf("byte %d = %x, want old %x", i, got[i], old[i])
+			}
+		}
+	})
+
+	t.Run("flip toggles exactly one bit", func(t *testing.T) {
+		c := NewController(DefaultConfig())
+		c.SetFaultInjector(&scriptInjector{at: 0, fault: Fault{Kind: FaultFlip, Byte: 5, Mask: 0x40}})
+		c.Write(0, 0, new1, CatData)
+		got := c.PeekRead(0)
+		want := new1
+		want[5] ^= 0x40
+		if got != want {
+			t.Fatalf("flip result = %x, want %x", got, want)
+		}
+	})
+
+	t.Run("cut suppresses this and all later writes", func(t *testing.T) {
+		c := NewController(DefaultConfig())
+		c.Write(0, 0, old, CatData)
+		c.Write(0, 64, old, CatData)
+		c.SetFaultInjector(&scriptInjector{at: 0, fault: Fault{Kind: FaultCut}})
+		c.Write(0, 0, new1, CatData)
+		c.Write(0, 64, new2, CatData)
+		if got := c.PeekRead(0); got != old {
+			t.Fatalf("cut write 0 landed: got %x", got[0])
+		}
+		if got := c.PeekRead(64); got != old {
+			t.Fatalf("post-cut write landed: got %x", got[0])
+		}
+	})
+
+	t.Run("nil injector and FaultNone are transparent", func(t *testing.T) {
+		c := NewController(DefaultConfig())
+		c.Write(0, 0, old, CatData)
+		inj := &scriptInjector{at: 99} // never fires
+		c.SetFaultInjector(inj)
+		c.Write(0, 0, new1, CatData)
+		c.SetFaultInjector(nil)
+		c.Write(0, 64, new2, CatData)
+		if c.PeekRead(0) != new1 || c.PeekRead(64) != new2 {
+			t.Fatal("fault-free writes did not commit")
+		}
+	})
+}
+
+func TestMarkStageForwarding(t *testing.T) {
+	c := NewController(DefaultConfig())
+	c.MarkStage("ignored-without-injector") // no-op, must not panic
+	inj := &scriptInjector{at: 99}
+	c.SetFaultInjector(inj)
+	c.MarkStage("drain:blocks")
+	c.MarkStage("drain:meta-flush")
+	if len(inj.stages) != 2 || inj.stages[0] != "drain:blocks" || inj.stages[1] != "drain:meta-flush" {
+		t.Fatalf("stages = %v", inj.stages)
 	}
 }
 

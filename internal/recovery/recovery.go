@@ -17,8 +17,10 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/bmt"
 	"repro/internal/cme"
 	"repro/internal/core"
 	"repro/internal/hierarchy"
@@ -41,6 +43,21 @@ type Error struct {
 func (e *Error) Error() string {
 	return fmt.Sprintf("recovery: verification failed at CHV slot %d (addr %#x): %s",
 		e.Slot, e.Addr, e.Detail)
+}
+
+// IsDetection reports whether err is (or wraps) a typed corruption-detection
+// error — one this package or the secure memory controller raises when
+// persistent state fails verification — as opposed to an internal or usage
+// error. The torture matrix uses it to separate "the corruption was caught"
+// (the contract's acceptable outcome) from "the harness or implementation
+// broke" (a matrix failure).
+func IsDetection(err error) bool {
+	var re *Error
+	if errors.As(err, &re) {
+		return true
+	}
+	var ie *secmem.IntegrityError
+	return errors.As(err, &ie)
 }
 
 // HorusResult reports a Horus recovery episode.
@@ -84,6 +101,21 @@ func RecoverHorusOpts(sys *core.System, ps core.PersistentState, opt Options) (H
 	sys.Sec.ResetStats()
 	lay := sys.Layout
 	n := ps.EDC
+	// A crash can leave any bytes in the persistent registers' NVM shadow;
+	// an implausible register file is detected corruption, not a license to
+	// index outside the CHV (or allocate 2^60 blocks).
+	if n > lay.CHVCapacity {
+		return HorusResult{}, &Error{Slot: n,
+			Detail: fmt.Sprintf("persistent EDC %d exceeds CHV capacity %d (corrupted register state)", n, lay.CHVCapacity)}
+	}
+	if ps.DC < n {
+		return HorusResult{}, &Error{
+			Detail: fmt.Sprintf("persistent DC %d smaller than EDC %d (corrupted register state)", ps.DC, n)}
+	}
+	if ps.CHVRegion >= lay.CHVRegions {
+		return HorusResult{}, &Error{
+			Detail: fmt.Sprintf("persistent CHV region %d out of range [0,%d) (corrupted register state)", ps.CHVRegion, lay.CHVRegions)}
+	}
 	firstDC := ps.DC - n
 	dlm := ps.Scheme == core.HorusDLM
 
@@ -231,8 +263,24 @@ func RestoreMetadataVault(sys *core.System, vault secmem.VaultRecord) (BaselineR
 	if count == 0 {
 		return BaselineResult{}, nil
 	}
+	// Validate the vault record before deriving any addresses from it: a
+	// corrupted count (negative, or larger than the vault region can hold,
+	// including the parity/leaf-MAC blocks repair would read) is detected
+	// corruption, never an out-of-range panic.
+	if count < 0 {
+		return BaselineResult{}, &Error{
+			Detail: fmt.Sprintf("vault record count %d is negative (corrupted register state)", count)}
+	}
 	addrBlocks := (count + 7) / 8
 	total := count + addrBlocks
+	need := uint64(total)
+	if vault.Parity {
+		need += 2 * uint64((total+7)/8)
+	}
+	if need > lay.VaultBlocks {
+		return BaselineResult{}, &Error{
+			Detail: fmt.Sprintf("vault record needs %d blocks but the vault region holds %d (corrupted register state)", need, lay.VaultBlocks)}
+	}
 
 	var now sim.Time
 	var macs int64
@@ -279,6 +327,17 @@ func RestoreMetadataVault(sys *core.System, vault secmem.VaultRecord) (BaselineR
 		addrs := core.UnpackAddrs(vaultContent[count+bi])
 		for s := 0; s < 8 && bi*8+s < count; s++ {
 			lines[bi*8+s].Addr = addrs[s]
+		}
+	}
+	// Only metadata addresses (tree nodes or the MAC region) may be
+	// re-installed; anything else means the (root-verified!) address blocks
+	// decode to garbage, which the controller would refuse with a panic.
+	// Surface it as detected corruption instead.
+	for _, line := range lines {
+		_, _, isNode := lay.Coord(line.Addr)
+		if line.Addr%bmt.BlockSize != 0 || (!isNode && lay.RegionOf(line.Addr) != bmt.RegionMAC) {
+			return BaselineResult{}, &Error{Addr: line.Addr,
+				Detail: "vaulted line address is not a metadata location (corrupted vault content)"}
 		}
 	}
 	sys.Sec.ReinstallMetadata(lines)

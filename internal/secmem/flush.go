@@ -62,6 +62,7 @@ func (c *Controller) FlushMetadataCaches(now sim.Time) (VaultRecord, sim.Time) {
 
 // flushInPlace writes every dirty metadata line to its home address.
 func (c *Controller) flushInPlace(now sim.Time) sim.Time {
+	c.nvm.MarkStage("meta:in-place")
 	t := now
 	for _, line := range c.dirtyLinesOrdered() {
 		done := c.nvm.Write(now, line.Addr, line.Content, mem.CatMetaFlush)
@@ -86,6 +87,7 @@ func (c *Controller) flushToVault(now sim.Time) (VaultRecord, sim.Time) {
 	if need > c.lay.VaultBlocks {
 		panic(fmt.Sprintf("secmem: vault capacity %d too small for %d blocks", c.lay.VaultBlocks, need))
 	}
+	c.nvm.MarkStage("meta:vault-payload")
 	t := now
 	var vaultContent []mem.Block
 	// Content blocks first, then packed address blocks. Note the cached
@@ -114,6 +116,7 @@ func (c *Controller) flushToVault(now sim.Time) (VaultRecord, sim.Time) {
 
 	rec := VaultRecord{Count: len(lines), Root: root}
 	if c.cfg.VaultParity {
+		c.nvm.MarkStage("meta:vault-parity")
 		payload, groups := vaultParityLayout(len(lines))
 		// Leaf-MAC blocks: 8 per block, positions payload..payload+groups.
 		for g := 0; g < groups; g++ {
