@@ -539,3 +539,25 @@ func BenchmarkObsDisabledOverhead(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) { benchmarkObsOverhead(b, nil) })
 	b.Run("enabled", func(b *testing.B) { benchmarkObsOverhead(b, NewMetricsRegistry()) })
 }
+
+// BenchmarkTimelineDisabledOverhead is the same contract for the timeline
+// recorder: with cfg.Timeline == nil the tracer hook in sim.Resource.Reserve
+// is a single pointer check, so the "disabled" sub must match an untraced
+// run. "enabled" shows the cost of recording every reservation.
+func benchmarkTimelineOverhead(b *testing.B, traced bool) {
+	b.ReportAllocs()
+	cfg := TestConfig()
+	for i := 0; i < b.N; i++ {
+		if traced {
+			cfg.Timeline = NewTimelineRecorder(0)
+		}
+		if _, err := RunDrain(cfg, HorusSLM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimelineDisabledOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) { benchmarkTimelineOverhead(b, false) })
+	b.Run("enabled", func(b *testing.B) { benchmarkTimelineOverhead(b, true) })
+}

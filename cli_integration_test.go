@@ -5,6 +5,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -53,9 +54,9 @@ func TestCLIs(t *testing.T) {
 		}
 	})
 
-	t.Run("drain-trace", func(t *testing.T) {
+	t.Run("drain-access-trace", func(t *testing.T) {
 		trace := filepath.Join(t.TempDir(), "t.csv")
-		run(t, bins["horus-drain"], "-scale", "test", "-scheme", "horus-slm", "-trace", trace)
+		run(t, bins["horus-drain"], "-scale", "test", "-scheme", "horus-slm", "-access-trace", trace)
 		b, err := os.ReadFile(trace)
 		if err != nil {
 			t.Fatal(err)
@@ -65,6 +66,63 @@ func TestCLIs(t *testing.T) {
 		}
 		if !strings.Contains(string(b), "chv-data") {
 			t.Error("trace missing CHV events")
+		}
+	})
+
+	t.Run("drain-timeline-trace", func(t *testing.T) {
+		trace := filepath.Join(t.TempDir(), "t.trace.json")
+		out := run(t, bins["horus-drain"], "-scale", "test", "-scheme", "horus-dlm",
+			"-trace", trace, "-trace-attrib")
+		for _, want := range []string{"Drain critical path by binding resource", "(drain time)", "100.0%", "timeline:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("attribution output missing %q:\n%s", want, out)
+			}
+		}
+		b, err := os.ReadFile(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr struct {
+			TraceEvents []struct {
+				Ph   string         `json:"ph"`
+				Pid  int            `json:"pid"`
+				Tid  int            `json:"tid"`
+				Cat  string         `json:"cat"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(b, &tr); err != nil {
+			t.Fatalf("trace file is not valid JSON: %v", err)
+		}
+		// Per-thread reservations must not overlap. Validate on the exact
+		// picosecond args — the float ts/dur fields round-trip through binary
+		// floating point and would report false overlaps on touching slices.
+		type ival struct{ start, end int64 }
+		type key struct{ pid, tid int }
+		perThread := map[key][]ival{}
+		for _, e := range tr.TraceEvents {
+			if e.Ph != "X" || e.Cat == "critical-path" {
+				continue
+			}
+			s, ok1 := e.Args["start_ps"].(float64)
+			d, ok2 := e.Args["end_ps"].(float64)
+			if !ok1 || !ok2 {
+				t.Fatalf("slice missing start_ps/end_ps args: %+v", e.Args)
+			}
+			k := key{e.Pid, e.Tid}
+			perThread[k] = append(perThread[k], ival{int64(s), int64(d)})
+		}
+		if len(perThread) == 0 {
+			t.Fatal("trace contains no reservation slices")
+		}
+		for k, ivs := range perThread {
+			sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+			for i := 1; i < len(ivs); i++ {
+				if ivs[i].start < ivs[i-1].end {
+					t.Errorf("pid %d tid %d: [%d,%d) overlaps [%d,%d)", k.pid, k.tid,
+						ivs[i].start, ivs[i].end, ivs[i-1].start, ivs[i-1].end)
+				}
+			}
 		}
 	})
 

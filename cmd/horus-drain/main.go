@@ -7,6 +7,7 @@
 //	horus-drain -scheme horus-slm
 //	horus-drain -scheme base-lu -llc 32 -compare
 //	horus-drain -scale test -scheme horus-dlm -v
+//	horus-drain -scale test -scheme horus-dlm -trace drain.json -trace-attrib
 package main
 
 import (
@@ -30,11 +31,17 @@ func main() {
 		shuffle     = flag.Bool("shuffle", false, "shuffle the flush order (harsher than the paper's in-order flush)")
 		compareFlag = flag.Bool("compare", false, "also run the non-secure reference and print ratios")
 		verbose     = flag.Bool("v", false, "print per-category breakdowns")
-		traceFile   = flag.String("trace", "", "write a CSV trace of every memory access to this file")
-		traceLimit  = flag.Int("trace-limit", 2_000_000, "maximum trace events retained (0 = unlimited)")
+		traceFile   = flag.String("access-trace", "", "write a CSV trace of every memory access to this file")
+		traceLimit  = flag.Int("access-trace-limit", 2_000_000, "maximum access-trace events retained (0 = unlimited)")
 	)
 	mf := cliutil.AddMetricsFlags()
+	tf := cliutil.AddTraceFlags()
+	pf := cliutil.AddProfileFlags()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer pf.Stop()
 
 	cfg, err := cliutil.ParseScale(*scaleFlag)
 	if err != nil {
@@ -50,6 +57,7 @@ func main() {
 		fatal(err)
 	}
 	cfg.Metrics = mf.Registry()
+	cfg.Timeline = tf.Recorder()
 
 	sys := horus.NewSystem(cfg, scheme)
 	var rec *trace.Recorder
@@ -69,6 +77,24 @@ func main() {
 		fatal(err)
 	}
 	printResult(cfg, res, *verbose)
+	if tf.Enabled() {
+		tlRec := cfg.Timeline.Recording()
+		if tf.Attrib {
+			att := horus.AnalyzeTimeline(tlRec)
+			att.Publish(cfg.Metrics, "scheme", res.Scheme.String())
+			fmt.Println()
+			report.AttributionTable(att).Fprint(os.Stdout)
+			fmt.Println()
+			report.Gantt(tlRec).Fprint(os.Stdout)
+		}
+		if tf.Path != "" {
+			if err := tf.WriteTrace(tlRec); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("timeline:       %d events to %s (%d dropped)\n",
+				len(tlRec.Events), tf.Path, tlRec.Dropped)
+		}
+	}
 	if mf.Enabled() {
 		fmt.Println()
 		report.SpanTree(cfg.Metrics).Fprint(os.Stdout)

@@ -34,8 +34,14 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort sweeps that run longer than this (0 = no limit)")
 	)
 	mf := cliutil.AddMetricsFlags()
+	tf := cliutil.AddTraceFlags()
+	pf := cliutil.AddProfileFlags()
 	flag.Parse()
 	emitCSVTo = *csvDir
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer pf.Stop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -52,6 +58,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Metrics = mf.Registry()
+	cfg.Timeline = tf.Recorder()
 
 	want := strings.Split(*expFlag, ",")
 	has := func(name string) bool {
@@ -63,15 +70,35 @@ func main() {
 		return false
 	}
 
-	// Figs. 6, 11, 12, 13 and Tables II/III share one drain per scheme.
+	// Figs. 6, 11, 12, 13 and Tables II/III share one drain per scheme; the
+	// timeline trace and attribution ride on the same set.
 	needSet := has("fig6") || has("fig11") || has("fig12") || has("fig13") ||
-		has("table2") || has("table3") || has("headline")
+		has("table2") || has("table3") || has("headline") || tf.Enabled()
 	var set *horus.DrainSet
 	if needSet {
 		var err error
 		set, err = horus.RunDrainSetCtx(ctx, cfg, horus.AllSchemes(), opts)
 		if err != nil {
 			fatal(err)
+		}
+	}
+	if tf.Enabled() {
+		var recs []*horus.TimelineRecording
+		var atts []horus.TimelineAttribution
+		for _, s := range set.Schemes {
+			if rec := set.Timelines[s]; rec != nil {
+				recs = append(recs, rec)
+				atts = append(atts, horus.AnalyzeTimeline(rec))
+			}
+		}
+		if tf.Attrib {
+			emit(report.AttributionTable(atts...))
+		}
+		if tf.Path != "" {
+			if err := tf.WriteTrace(recs...); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("timeline: %d episodes to %s\n", len(recs), tf.Path)
 		}
 	}
 

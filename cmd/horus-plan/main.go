@@ -34,7 +34,13 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort validation runs longer than this (0 = no limit)")
 	)
 	mf := cliutil.AddMetricsFlags()
+	pf := cliutil.AddProfileFlags()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "horus-plan:", err)
+		os.Exit(1)
+	}
+	defer pf.Stop()
 
 	cfg := horus.DefaultConfig()
 	cfg.LLCBytes = *llcMB << 20

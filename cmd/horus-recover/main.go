@@ -29,7 +29,12 @@ func main() {
 		seed       = flag.Int64("seed", 1, "fill seed")
 	)
 	mf := cliutil.AddMetricsFlags()
+	pf := cliutil.AddProfileFlags()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer pf.Stop()
 
 	cfg := horus.TestConfig()
 	if *scaleFlag == "paper" {

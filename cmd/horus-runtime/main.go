@@ -33,10 +33,17 @@ func main() {
 		compare    = flag.Bool("compare-domains", false, "run on both ADR and EPD and compare")
 	)
 	mf := cliutil.AddMetricsFlags()
+	tf := cliutil.AddTraceFlags()
+	pf := cliutil.AddProfileFlags()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer pf.Stop()
 
 	cfg := horus.TestConfig()
 	cfg.Metrics = mf.Registry()
+	cfg.Timeline = tf.Recorder()
 	wl, err := cliutil.MakeWorkload(*wlFlag, horus.WorkloadConfig{
 		Ops: *ops, WorkingSet: uint64(*wsKB) << 10, Seed: *seed, PersistPercent: *persist,
 	})
@@ -87,6 +94,9 @@ func main() {
 		report.Count(st.Persists), report.Count(st.PersistFlush), report.Count(st.PersistElided))
 
 	if !*crash {
+		// Without a crash the timeline holds the run phase only (no drain
+		// episode brackets it); export covers those events as recorded.
+		writeTimeline(tf, cfg.Timeline, cfg.Metrics)
 		writeMetrics(mf, cfg.Metrics)
 		return
 	}
@@ -97,6 +107,7 @@ func main() {
 	fmt.Printf("\ncrash: drained %s dirty lines in %v (%s writes, %s MACs)\n",
 		report.Count(int64(res.BlocksDrained)), res.DrainTime,
 		report.Count(res.MemWrites.Total()), report.Count(res.TotalMACs()))
+	writeTimeline(tf, cfg.Timeline, cfg.Metrics)
 	rec, err := ws.Recover(res.Persist)
 	if err != nil {
 		fatal(err)
@@ -109,6 +120,30 @@ func main() {
 	}
 	fmt.Printf("recovered in %v; verified %d/%d pre-crash values\n", rec.Time(), ok, len(golden))
 	writeMetrics(mf, cfg.Metrics)
+}
+
+// writeTimeline prints the attribution and exports the Chrome trace when
+// tracing is enabled. With -crash the recording covers the drain episode;
+// without it, the run phase.
+func writeTimeline(tf *cliutil.TraceFlags, tl *horus.TimelineRecorder, reg *horus.MetricsRegistry) {
+	if !tf.Enabled() {
+		return
+	}
+	rec := tl.Recording()
+	if tf.Attrib {
+		att := horus.AnalyzeTimeline(rec)
+		att.Publish(reg)
+		fmt.Println()
+		report.AttributionTable(att).Fprint(os.Stdout)
+		fmt.Println()
+		report.Gantt(rec).Fprint(os.Stdout)
+	}
+	if tf.Path != "" {
+		if err := tf.WriteTrace(rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline: %d events to %s (%d dropped)\n", len(rec.Events), tf.Path, rec.Dropped)
+	}
 }
 
 // writeMetrics prints the span tree and exports the snapshot when enabled.

@@ -41,7 +41,12 @@ func main() {
 		cells      = flag.Bool("cells", false, "print the per-crash-point cell table, not just the summary")
 	)
 	mf := cliutil.AddMetricsFlags()
+	pf := cliutil.AddProfileFlags()
 	flag.Parse()
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer pf.Stop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -117,6 +122,7 @@ func main() {
 	if !rep.Ok() {
 		fmt.Fprintf(os.Stderr, "horus-torture: %d of %d cells violated the recovery contract\n",
 			len(rep.Failures()), len(rep.Cells))
+		pf.Stop() // os.Exit skips defers; flush the profiles first
 		os.Exit(1)
 	}
 	fmt.Printf("ok: %d cells, zero silent corruption\n", len(rep.Cells))

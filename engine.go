@@ -42,6 +42,9 @@ type PointResult struct {
 	Point    DrainPoint
 	Result   Result
 	Recovery *RecoveryReport // non-nil when Point.Recover and recovery ran
+	// Timeline is the episode's drain recording, non-nil when the point's
+	// Config.Timeline requested tracing.
+	Timeline *TimelineRecording
 	Err      error
 }
 
@@ -49,6 +52,7 @@ type PointResult struct {
 type pointValue struct {
 	res Result
 	rec *RecoveryReport
+	tl  *TimelineRecording
 }
 
 // RunDrainGrid executes the points through the episode engine: a bounded
@@ -103,6 +107,7 @@ func RunDrainGrid(ctx context.Context, points []DrainPoint, opts SweepOptions) (
 		if v, ok := r.Value.(pointValue); ok {
 			out[i].Result = v.res
 			out[i].Recovery = v.rec
+			out[i].Timeline = v.tl
 		}
 	}
 	return out, err
@@ -115,6 +120,12 @@ func RunDrainGrid(ctx context.Context, points []DrainPoint, opts SweepOptions) (
 func runPointEpisode(ctx context.Context, pt DrainPoint, env sweep.Env) (pointValue, error) {
 	cfg := pt.Config
 	cfg.Metrics = env.Metrics
+	// Like the metrics registry, a timeline recorder is never shared across
+	// concurrent episodes: a traced base config gets a fresh per-episode
+	// recorder with the same limit.
+	if pt.Config.Timeline != nil {
+		cfg.Timeline = NewTimelineRecorder(pt.Config.Timeline.Limit())
+	}
 
 	sys := NewSystem(cfg, pt.Scheme)
 	if err := sys.Warmup(); err != nil {
@@ -128,18 +139,24 @@ func runPointEpisode(ctx context.Context, pt DrainPoint, env sweep.Env) (pointVa
 	if err != nil {
 		return pointValue{}, err
 	}
+	val := pointValue{res: res}
+	if cfg.Timeline != nil {
+		val.tl = cfg.Timeline.Recording()
+		AnalyzeTimeline(val.tl).Publish(cfg.Metrics, "scheme", pt.Scheme.String())
+	}
 	if !pt.Recover {
-		return pointValue{res: res}, nil
+		return val, nil
 	}
 	if err := ctx.Err(); err != nil {
-		return pointValue{res: res}, err
+		return val, err
 	}
 	sys.Crash()
 	rec, err := sys.Recover(res.Persist)
 	if err != nil {
-		return pointValue{res: res}, err
+		return val, err
 	}
-	return pointValue{res: res, rec: &rec}, nil
+	val.rec = &rec
+	return val, nil
 }
 
 // runEpisodes routes ad-hoc episodes (the ablation studies that need more

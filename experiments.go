@@ -16,6 +16,9 @@ type DrainSet struct {
 	Config  Config
 	Schemes []Scheme
 	Results map[Scheme]Result
+	// Timelines holds the per-scheme drain recordings, populated only when
+	// the base Config.Timeline requested tracing.
+	Timelines map[Scheme]*TimelineRecording
 }
 
 // mustResult returns a scheme's result, failing loudly if the set was run
@@ -48,6 +51,12 @@ func RunDrainSetCtx(ctx context.Context, cfg Config, schemes []Scheme, opts Swee
 	for _, pr := range prs {
 		if pr.Err == nil {
 			ds.Results[pr.Point.Scheme] = pr.Result
+			if pr.Timeline != nil {
+				if ds.Timelines == nil {
+					ds.Timelines = make(map[Scheme]*TimelineRecording)
+				}
+				ds.Timelines[pr.Point.Scheme] = pr.Timeline
+			}
 		}
 	}
 	if err != nil {

@@ -170,6 +170,12 @@ type Config struct {
 	// latency histograms and lifecycle spans from every layer of the
 	// simulated machine. Leave nil to disable instrumentation entirely.
 	Metrics *MetricsRegistry
+	// Timeline, when non-nil, records every bank, bus and crypto-engine
+	// reservation of the drain episode for Chrome-trace export and
+	// critical-path attribution (see AnalyzeTimeline). Leave nil to disable
+	// recording entirely; the detached fast path costs one pointer check
+	// per reservation.
+	Timeline *TimelineRecorder
 }
 
 // DefaultConfig returns the paper's Table I configuration at full scale:
@@ -249,9 +255,11 @@ func NewSystem(cfg Config, scheme Scheme) *System {
 	scfg := cfg.Sec
 	scfg.Scheme = scheme.RuntimeScheme()
 	sec := secmem.New(scfg, lay, enc, nvm)
-	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec, Metrics: cfg.Metrics}
+	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec, Metrics: cfg.Metrics, Timeline: cfg.Timeline}
 	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String())
 	sec.SetMetrics(cfg.Metrics, "scheme", scheme.String())
+	nvm.SetTimeline(cfg.Timeline)
+	sec.SetTimeline(cfg.Timeline)
 	return &System{
 		Config:    cfg,
 		Scheme:    scheme,

@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/secmem"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 )
 
 // Scheme selects a draining design: a handle into the registry of
@@ -164,6 +165,12 @@ type System struct {
 	// counters; the NVM and secure controller attach to the same registry
 	// via their own SetMetrics. All instrumentation is nil-safe.
 	Metrics *obs.Registry
+
+	// Timeline, when non-nil, records the per-resource event timeline of the
+	// drain. The NVM and secure controller attach to the same recorder via
+	// their own SetTimeline; the drainer brackets each episode so the
+	// recording covers exactly the measured drain window.
+	Timeline *timeline.Recorder
 }
 
 // Drainer executes one draining episode for a given scheme.
@@ -215,6 +222,7 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 	reg := d.sys.Metrics
 	drainSpan := reg.StartSpan("drain", 0)
 	blocksSpan := reg.StartSpan("flush-blocks", 0)
+	d.sys.Timeline.BeginEpisode(d.scheme.String())
 
 	d.sys.NVM.MarkStage("drain:blocks")
 	t, err := d.impl.Drain(d, blocks)
@@ -241,6 +249,7 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 		t = sim.MaxTime(t, d.sys.Sec.EnginesLastDone())
 	}
 	drainSpan.EndAt(int64(t))
+	d.sys.Timeline.EndEpisode(t)
 
 	d.edc = uint64(len(blocks))
 	d.episodes++

@@ -1,10 +1,12 @@
 package mem
 
 import (
+	"fmt"
 	"strconv"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 )
 
 // Category labels a memory access for the breakdowns in the paper's figures
@@ -65,9 +67,10 @@ type Controller struct {
 	// the traffic counters it is never reset (cell wear is permanent).
 	wear map[uint64]int64
 
-	observers []Observer     // access tracers, notified in registration order
-	m         *accessMetrics // optional per-access instrumentation
-	fault     FaultInjector  // optional write-fault injection (torture harness)
+	observers []Observer         // access tracers, notified in registration order
+	m         *accessMetrics     // optional per-access instrumentation
+	fault     FaultInjector      // optional write-fault injection (torture harness)
+	tl        *timeline.Recorder // optional event-timeline recorder
 }
 
 // AddObserver appends an access observer. Observers are notified of every
@@ -150,9 +153,24 @@ func NewController(cfg Config) *Controller {
 		wear:   make(map[uint64]int64),
 	}
 	for i := 0; i < cfg.Banks; i++ {
-		c.banks = append(c.banks, sim.NewResource("bank"))
+		c.banks = append(c.banks, sim.NewResource(fmt.Sprintf("bank%02d", i)))
 	}
 	return c
+}
+
+// SetTimeline attaches an event-timeline recorder to the bus and every bank
+// (nil detaches). Each reservation the controller places is then recorded as
+// one interval, stamped with the access op and category.
+func (c *Controller) SetTimeline(rec *timeline.Recorder) {
+	c.tl = rec
+	var tr sim.Tracer
+	if rec != nil {
+		tr = rec
+	}
+	c.bus.SetTracer("bus", tr)
+	for _, b := range c.banks {
+		b.SetTracer("bank", tr)
+	}
 }
 
 // Store exposes the functional backing store (for tests and recovery).
@@ -174,6 +192,9 @@ func (c *Controller) bankOf(addr uint64) int {
 // begins no earlier than ready; the returned time is when data is available.
 func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim.Time) {
 	c.reads.Add(string(cat), 1)
+	if c.tl != nil {
+		c.tl.SetOp("read", string(cat))
+	}
 	busStart, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
 	bankStart, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.ReadLatency)
 	if c.m != nil {
@@ -196,6 +217,9 @@ func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim
 func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) sim.Time {
 	c.writes.Add(string(cat), 1)
 	c.wear[addr]++
+	if c.tl != nil {
+		c.tl.SetOp("write", string(cat))
+	}
 	busStart, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
 	bankStart, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.WriteLatency)
 	if c.m != nil {

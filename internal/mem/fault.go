@@ -80,6 +80,9 @@ func (c *Controller) MarkStage(stage string) {
 	if c.fault != nil {
 		c.fault.OnStage(stage)
 	}
+	if c.tl != nil {
+		c.tl.SetStage(stage)
+	}
 }
 
 // applyFault merges the faulted view of a write into the store. It returns

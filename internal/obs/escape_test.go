@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Prometheus text exposition requires backslash, double-quote and newline
+// escaped inside label values, and backslash and newline escaped in HELP
+// text. A value that slips through unescaped corrupts every later line of
+// the exposition.
+func TestWritePrometheusEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("horus_test_total", "path", `C:\tmp`+"\n", "msg", `say "hi"`).Add(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	want := `horus_test_total{msg="say \"hi\"",path="C:\\tmp\n"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("missing %q in output:\n%s", want, out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.Count(line, "\n") > 0 {
+			t.Errorf("raw newline survived in line %q", line)
+		}
+	}
+}
+
+func TestWritePrometheusEscapesHelp(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("horus_test_total", "line one\nline two with a \\ backslash")
+	r.Counter("horus_test_total").Add(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	want := `# HELP horus_test_total line one\nline two with a \\ backslash`
+	if !strings.Contains(out, want) {
+		t.Errorf("missing %q in output:\n%s", want, out)
+	}
+}
+
+// Quantile on a histogram that has buckets but no observations must return
+// 0 (not NaN, not a bucket bound), matching the nil-histogram behavior.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if !math.IsNaN(h.Quantile(2)) {
+		t.Error("out-of-range quantile on empty histogram should still be NaN")
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+}

@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/timeline"
+)
+
+// AttributionTable renders one or more critical-path attributions as a
+// table: one row per (episode, resource class, phase) plus a per-episode
+// total row, with each share's percentage of the episode's drain time. By
+// construction the per-episode totals equal the measured drain times.
+func AttributionTable(atts ...timeline.Attribution) *Table {
+	t := &Table{
+		Title:  "Drain critical path by binding resource",
+		Header: []string{"scheme", "resource", "service", "wait", "total", "share"},
+	}
+	dropped := false
+	for _, a := range atts {
+		for _, s := range a.Shares {
+			t.AddRow(a.Episode, s.Resource,
+				s.Service.String(), s.Wait.String(), s.Total().String(),
+				sharePct(s.Total(), a.Total))
+		}
+		t.AddRow(a.Episode, "(drain time)", "", "", a.AttributedTotal().String(),
+			sharePct(a.AttributedTotal(), a.Total))
+		if a.Dropped > 0 {
+			dropped = true
+		}
+	}
+	t.AddNote("service = critical path occupying the resource; wait = queued for it; idle = no recorded operation in flight")
+	if dropped {
+		t.AddNote("warning: recorder dropped events (limit reached); resource-bound time is a lower bound, the remainder shows as idle")
+	}
+	return t
+}
+
+// ganttWidth is the default character width of a Gantt bar.
+const ganttWidth = 96
+
+// ganttDensity maps a bucket's busy fraction to a bar character.
+func ganttDensity(busy, span sim.Time) byte {
+	if span <= 0 || busy <= 0 {
+		return ' '
+	}
+	switch f := float64(busy) / float64(span); {
+	case f < 0.25:
+		return '.'
+	case f < 0.5:
+		return ':'
+	case f < 0.75:
+		return '='
+	default:
+		return '#'
+	}
+}
+
+// Gantt renders a recording as an ASCII Gantt chart: one bar per resource
+// track showing reservation density over the episode, plus a critical-path
+// bar marking which resource class binds each interval (b=bank, u=bus,
+// a=aes, m=mac, blank=idle; uppercase marks wait on that resource). Wide
+// episodes compress into character buckets, so a character shows the
+// bucket's busy fraction, not individual events.
+func Gantt(rec *timeline.Recording) *Table {
+	t := &Table{Title: fmt.Sprintf("Drain timeline: %s", rec.Episode)}
+	total := rec.Total
+	if total <= 0 {
+		t.AddNote("empty recording")
+		return t
+	}
+	t.Header = []string{"track", fmt.Sprintf("0 .. %s (%d cols)", total, ganttWidth)}
+
+	bucketOf := func(ts sim.Time) int {
+		b := int(int64(ts) * ganttWidth / int64(total))
+		if b < 0 {
+			b = 0
+		}
+		if b >= ganttWidth {
+			b = ganttWidth - 1
+		}
+		return b
+	}
+	// accumulate overlaps [lo, hi) into per-bucket busy time.
+	accumulate := func(busy []sim.Time, lo, hi sim.Time) {
+		if hi > total {
+			hi = total
+		}
+		if hi <= lo {
+			return
+		}
+		for b := bucketOf(lo); b <= bucketOf(hi-1); b++ {
+			bLo := sim.Time(int64(b) * int64(total) / ganttWidth)
+			bHi := sim.Time(int64(b+1) * int64(total) / ganttWidth)
+			o := minTime(hi, bHi) - maxTime(lo, bLo)
+			if o > 0 {
+				busy[b] += o
+			}
+		}
+	}
+	span := func(b int) sim.Time {
+		return sim.Time(int64(b+1)*int64(total)/ganttWidth - int64(b)*int64(total)/ganttWidth)
+	}
+
+	byTrack := map[string][]sim.Time{}
+	for _, tr := range rec.Tracks() {
+		byTrack[tr] = make([]sim.Time, ganttWidth)
+	}
+	for _, e := range rec.Events {
+		accumulate(byTrack[e.Track], e.Start, e.End)
+	}
+	for _, tr := range rec.Tracks() {
+		var bar strings.Builder
+		for b := 0; b < ganttWidth; b++ {
+			bar.WriteByte(ganttDensity(byTrack[tr][b], span(b)))
+		}
+		t.AddRow(tr, bar.String())
+	}
+
+	crit := make([]byte, ganttWidth)
+	for i := range crit {
+		crit[i] = ' '
+	}
+	for _, s := range timeline.Analyze(rec).Steps {
+		ch := critChar(s)
+		if ch == ' ' {
+			continue
+		}
+		for b := bucketOf(s.From); b <= bucketOf(s.To-1); b++ {
+			crit[b] = ch
+		}
+	}
+	t.AddRow("critical", string(crit))
+	t.AddNote("bars: reservation density per bucket (. < 25%%, : < 50%%, = < 75%%, # dense)")
+	t.AddNote("critical: binding class per bucket — b=bank u=bus a=aes m=mac, uppercase = waiting, blank = idle")
+	return t
+}
+
+// critChar maps a critical-path step to its Gantt marker.
+func critChar(s timeline.PathStep) byte {
+	var ch byte
+	switch s.Resource {
+	case "bank":
+		ch = 'b'
+	case "bus":
+		ch = 'u'
+	case "aes":
+		ch = 'a'
+	case "mac":
+		ch = 'm'
+	case "idle":
+		return ' '
+	default:
+		ch = '?'
+	}
+	if s.Phase == "wait" && ch >= 'a' && ch <= 'z' {
+		ch -= 'a' - 'A'
+	}
+	return ch
+}
+
+// sharePct formats part/whole as a percentage.
+func sharePct(part, whole sim.Time) string {
+	if whole <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/secmem"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 	"repro/internal/workload"
 )
 
@@ -118,6 +119,7 @@ type Machine struct {
 
 	metrics *obs.Registry
 	mLabels []string
+	tl      *timeline.Recorder
 }
 
 // SetMetrics attaches the machine to a metrics registry (nil detaches). The
@@ -127,6 +129,12 @@ type Machine struct {
 func (m *Machine) SetMetrics(reg *obs.Registry, labels ...string) {
 	m.metrics = reg
 	m.mLabels = labels
+}
+
+// SetTimeline hands the machine the recorder its controllers are attached
+// to, so Run can stamp the run phase onto recorded events (nil detaches).
+func (m *Machine) SetTimeline(rec *timeline.Recorder) {
+	m.tl = rec
 }
 
 // PublishMetrics snapshots the run-time counters into the attached registry
@@ -412,6 +420,9 @@ func (m *Machine) Persist(addr uint64) error {
 
 // Run executes a workload stream to completion.
 func (m *Machine) Run(s *workload.Stream) error {
+	// Stamp directly on the recorder rather than via nvm.MarkStage: stage
+	// marks also reach fault injectors, and the torture harness counts them.
+	m.tl.SetStage("run")
 	span := m.metrics.StartSpan("run", int64(m.now))
 	defer func() {
 		span.EndAt(int64(m.now))

@@ -26,6 +26,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 )
 
 // UpdateScheme selects how Merkle-tree updates propagate (§II-C).
@@ -150,7 +151,8 @@ type Controller struct {
 
 	evictionDepth int
 
-	m *engineMetrics // optional crypto-engine instrumentation
+	m  *engineMetrics     // optional crypto-engine instrumentation
+	tl *timeline.Recorder // optional event-timeline recorder
 }
 
 // engineMetrics caches metric handles for the issueAES/issueMAC hot paths.
@@ -177,6 +179,19 @@ func (c *Controller) SetMetrics(reg *obs.Registry, labels ...string) {
 		aesCtr: reg.Counter("horus_sec_aes_ops_total", labels...),
 		macCtr: make(map[string]*obs.Counter),
 	}
+}
+
+// SetTimeline attaches an event-timeline recorder to the AES and MAC
+// engines (nil detaches); every crypto issue is then recorded as one
+// interval stamped with the operation category.
+func (c *Controller) SetTimeline(rec *timeline.Recorder) {
+	c.tl = rec
+	var tr sim.Tracer
+	if rec != nil {
+		tr = rec
+	}
+	c.aes.SetTracer("aes", tr)
+	c.mac.SetTracer("mac", tr)
 }
 
 // PublishMetrics snapshots crypto-engine occupancy into the attached
@@ -328,6 +343,9 @@ func (c *Controller) IssueMAC(ready sim.Time, category string) sim.Time {
 // issueMAC charges one MAC computation of the given category.
 func (c *Controller) issueMAC(ready sim.Time, category string) sim.Time {
 	c.macCalcs.Add(category, 1)
+	if c.tl != nil {
+		c.tl.SetOp("mac", category)
+	}
 	if c.m != nil {
 		ctr, ok := c.m.macCtr[category]
 		if !ok {
@@ -342,6 +360,9 @@ func (c *Controller) issueMAC(ready sim.Time, category string) sim.Time {
 // issueAES charges one AES (OTP) computation.
 func (c *Controller) issueAES(ready sim.Time) sim.Time {
 	c.aesOps++
+	if c.tl != nil {
+		c.tl.SetOp("aes", "otp")
+	}
 	if c.m != nil {
 		c.m.aesCtr.Add(1)
 	}

@@ -7,7 +7,9 @@ package sim
 // memory controller would.
 type Resource struct {
 	name string
+	kind string // attribution class reported to the tracer
 	tl   timeline
+	tr   Tracer
 
 	ops  int64
 	busy Time // total occupied time, for utilisation reporting
@@ -27,6 +29,9 @@ func (r *Resource) Acquire(ready, dur Time) (start, done Time) {
 	r.ops++
 	r.busy += dur
 	r.wait += start - ready
+	if r.tr != nil {
+		r.tr.OnReserve(r.name, r.kind, ready, start, done, done)
+	}
 	return start, done
 }
 
@@ -61,10 +66,12 @@ func (r *Resource) Reset() {
 // like Resource.
 type Engine struct {
 	name    string
+	kind    string // attribution class reported to the tracer
 	latency Time
 	ii      Time
 
 	tl       timeline
+	tr       Tracer
 	ops      int64
 	lastDone Time
 	busy     Time // issue-slot occupancy (II per op)
@@ -96,6 +103,9 @@ func (e *Engine) Issue(ready Time) (done Time) {
 	e.wait += start - ready
 	if done > e.lastDone {
 		e.lastDone = done
+	}
+	if e.tr != nil {
+		e.tr.OnReserve(e.name, e.kind, ready, start, start+e.ii, done)
 	}
 	return done
 }

@@ -1,0 +1,34 @@
+package sim
+
+// Tracer observes every reservation placed on a Resource or an Engine. It
+// is the hook the event-timeline recorder (internal/timeline) attaches to;
+// the indirection keeps sim free of upward dependencies.
+//
+// name is the resource's diagnostic name ("bank03", "membus", "aes"); kind
+// classifies it for attribution ("bank", "bus", "aes", "mac"). ready is the
+// time the operation could first have used the resource, start/end bound
+// the reservation actually placed ([start, end) never overlaps another
+// reservation on the same resource), and done is the operation's completion
+// time. For a Resource, end == done; for a pipelined Engine, end is the end
+// of the issue slot (start + II) while done is start + latency, so
+// in-flight tails of successive operations legitimately overlap.
+//
+// A nil tracer is the fast path: one pointer check per reservation, no
+// allocation (guarded by BenchmarkTimelineDisabledOverhead).
+type Tracer interface {
+	OnReserve(name, kind string, ready, start, end, done Time)
+}
+
+// SetTracer attaches a tracer to the resource (nil detaches) and records
+// the kind label reported with every reservation.
+func (r *Resource) SetTracer(kind string, t Tracer) {
+	r.kind = kind
+	r.tr = t
+}
+
+// SetTracer attaches a tracer to the engine (nil detaches) and records the
+// kind label reported with every issue.
+func (e *Engine) SetTracer(kind string, t Tracer) {
+	e.kind = kind
+	e.tr = t
+}

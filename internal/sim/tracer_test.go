@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+type captureTracer struct {
+	events []struct {
+		name, kind              string
+		ready, start, end, done Time
+	}
+}
+
+func (c *captureTracer) OnReserve(name, kind string, ready, start, end, done Time) {
+	c.events = append(c.events, struct {
+		name, kind              string
+		ready, start, end, done Time
+	}{name, kind, ready, start, end, done})
+}
+
+func TestResourceTracerSeesEveryReservation(t *testing.T) {
+	r := NewResource("bank03")
+	tr := &captureTracer{}
+	r.SetTracer("bank", tr)
+
+	r.Acquire(0, 100)  // [0,100)
+	r.Acquire(50, 100) // queued: [100,200)
+
+	if len(tr.events) != 2 {
+		t.Fatalf("got %d events, want 2", len(tr.events))
+	}
+	e := tr.events[1]
+	if e.name != "bank03" || e.kind != "bank" {
+		t.Errorf("labels = %q/%q, want bank03/bank", e.name, e.kind)
+	}
+	if e.ready != 50 || e.start != 100 || e.end != 200 || e.done != 200 {
+		t.Errorf("times = %d/%d/%d/%d, want 50/100/200/200", e.ready, e.start, e.end, e.done)
+	}
+
+	// Resources report end == done.
+	for _, e := range tr.events {
+		if e.end != e.done {
+			t.Errorf("resource event end %d != done %d", e.end, e.done)
+		}
+	}
+
+	r.SetTracer("bank", nil)
+	r.Acquire(200, 10)
+	if len(tr.events) != 2 {
+		t.Error("detached tracer still received events")
+	}
+}
+
+func TestEngineTracerReportsIssueSlotAndCompletion(t *testing.T) {
+	e := NewEngine("mac", 40, 10) // latency 40, II 10
+	tr := &captureTracer{}
+	e.SetTracer("mac", tr)
+
+	e.Issue(0) // slot [0,10), done 40
+	e.Issue(0) // slot [10,20), done 50
+
+	if len(tr.events) != 2 {
+		t.Fatalf("got %d events, want 2", len(tr.events))
+	}
+	ev := tr.events[1]
+	if ev.ready != 0 || ev.start != 10 || ev.end != 20 || ev.done != 50 {
+		t.Errorf("times = %d/%d/%d/%d, want 0/10/20/50", ev.ready, ev.start, ev.end, ev.done)
+	}
+
+	// Combinational engines (II 0) report a zero-width issue slot.
+	c := NewEngine("xor", 5, 0)
+	ctr := &captureTracer{}
+	c.SetTracer("aes", ctr)
+	c.Issue(7)
+	ev = ctr.events[0]
+	if ev.start != 7 || ev.end != 7 || ev.done != 12 {
+		t.Errorf("combinational times = %d/%d/%d, want 7/7/12", ev.start, ev.end, ev.done)
+	}
+}
+
+// The nil-tracer fast path must not allocate: draining at paper scale
+// places millions of reservations, and an untraced run has to stay exactly
+// as cheap as before the hook existed.
+func TestAcquireNoAllocsWithoutTracer(t *testing.T) {
+	r := NewResource("bank")
+	e := NewEngine("mac", 40, 10)
+	var ready Time
+	step := func() {
+		_, done := r.Acquire(ready, 10)
+		ready = e.Issue(done)
+	}
+	for i := 0; i < 1000; i++ {
+		step() // warm up: let the bounded gap lists reach steady state
+	}
+	if avg := testing.AllocsPerRun(1000, step); avg != 0 {
+		t.Errorf("Acquire+Issue allocate %.3f objects/op without a tracer, want 0", avg)
+	}
+}

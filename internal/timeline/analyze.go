@@ -1,0 +1,282 @@
+package timeline
+
+import (
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// kindPriority orders the attribution classes the way the paper discusses
+// them: memory banks, command bus, then the crypto engines. Unknown kinds
+// (custom schemes may add resources) sort after the known ones, by name.
+func kindPriority(kind string) int {
+	switch kind {
+	case "bank":
+		return 0
+	case "bus":
+		return 1
+	case "aes":
+		return 2
+	case "mac":
+		return 3
+	}
+	return 4
+}
+
+// sortTracks orders track names by kind priority, then kind, then name.
+func sortTracks(names []string, kindOf map[string]string) {
+	sort.Slice(names, func(i, j int) bool {
+		ki, kj := kindOf[names[i]], kindOf[names[j]]
+		if p, q := kindPriority(ki), kindPriority(kj); p != q {
+			return p < q
+		}
+		if ki != kj {
+			return ki < kj
+		}
+		return names[i] < names[j]
+	})
+}
+
+// ResourceShare is the critical-path time bound by one resource class.
+type ResourceShare struct {
+	// Resource is the attribution class: "bank", "bus", "aes", "mac", or
+	// "idle" for spans where no recorded operation was in flight.
+	Resource string
+	// Service is critical-path time the binding operation spent occupying
+	// (or in flight on) the resource.
+	Service sim.Time
+	// Wait is critical-path time the binding operation spent queued for the
+	// resource (contention / structural hazard).
+	Wait sim.Time
+}
+
+// Total returns service plus wait.
+func (s ResourceShare) Total() sim.Time { return s.Service + s.Wait }
+
+// PathStep is one interval of the critical path, in forward time order.
+type PathStep struct {
+	// From/To bound the attributed interval [From, To).
+	From, To sim.Time
+	// Resource is the attribution class ("idle" for gaps).
+	Resource string
+	// Phase is "service", "wait" or "idle".
+	Phase string
+	// Track/Op/Label/Stage describe the binding event (empty for idle).
+	Track, Op, Label, Stage string
+}
+
+// Attribution is the critical-path decomposition of one episode: the steps
+// tile [0, Total) exactly, so the shares (including idle) always sum to the
+// episode's measured drain time.
+type Attribution struct {
+	Episode string
+	Total   sim.Time
+	// Dropped is carried over from the recording: a non-zero value means
+	// events were lost to the recorder limit and the attribution is a lower
+	// bound on resource-bound time (the gaps surface as idle).
+	Dropped int64
+	Shares  []ResourceShare
+	Steps   []PathStep
+}
+
+// AttributedTotal sums the shares; by construction it equals Total.
+func (a Attribution) AttributedTotal() sim.Time {
+	var t sim.Time
+	for _, s := range a.Shares {
+		t += s.Total()
+	}
+	return t
+}
+
+// Share returns the share of one resource class (zero if absent).
+func (a Attribution) Share(resource string) ResourceShare {
+	for _, s := range a.Shares {
+		if s.Resource == resource {
+			return s
+		}
+	}
+	return ResourceShare{Resource: resource}
+}
+
+// Analyze walks the recording's interval set backwards from the episode end
+// and attributes each picosecond to its binding resource.
+//
+// The walk exploits the structure of reservation-list scheduling: the drain
+// code threads each operation's predecessor completion time through as the
+// next operation's ready time, so an event's [Ready, Done) span covers both
+// its wait for the resource and its service, and its Ready points at the
+// dependency that bound it before that. Starting from the episode end, the
+// analyzer repeatedly picks the latest-completing event at or before the
+// cursor: the interval down to the event's completion (if any) is idle, the
+// event's [Start, Done) is service on its resource, [Ready, Start) is wait
+// for it, and the cursor continues from Ready. Every interval of [0, Total)
+// is attributed exactly once, which is what guarantees the per-scheme
+// attribution totals equal the measured drain time.
+//
+// Ties (several events completing at the same instant) break
+// deterministically — smallest Ready first, then kind priority, track and
+// start — so the attribution is byte-identical regardless of episode
+// scheduling (the -parallel determinism contract).
+func Analyze(rec *Recording) Attribution {
+	att := Attribution{}
+	if rec == nil {
+		return att
+	}
+	att.Episode = rec.Episode
+	att.Total = rec.Total
+	att.Dropped = rec.Dropped
+	if rec.Total <= 0 {
+		return att
+	}
+
+	// Zero-progress events (Done <= Ready, e.g. issues on a combinational
+	// engine) can never bind the critical path and would stall the walk.
+	evs := make([]Event, 0, len(rec.Events))
+	for _, e := range rec.Events {
+		if e.Done > e.Ready && e.Done <= rec.Total {
+			evs = append(evs, e)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Done != b.Done {
+			return a.Done < b.Done
+		}
+		if a.Ready != b.Ready {
+			return a.Ready < b.Ready
+		}
+		if p, q := kindPriority(a.Kind), kindPriority(b.Kind); p != q {
+			return p < q
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Label < b.Label
+	})
+
+	var steps []PathStep
+	add := func(s PathStep) {
+		if s.To <= s.From {
+			return
+		}
+		steps = append(steps, s)
+	}
+
+	cursor := rec.Total
+	for cursor > 0 {
+		// Latest event completing at or before the cursor.
+		idx := sort.Search(len(evs), func(i int) bool { return evs[i].Done > cursor }) - 1
+		if idx < 0 {
+			add(PathStep{From: 0, To: cursor, Resource: "idle", Phase: "idle"})
+			break
+		}
+		done := evs[idx].Done
+		if done < cursor {
+			add(PathStep{From: done, To: cursor, Resource: "idle", Phase: "idle"})
+			cursor = done
+			continue
+		}
+		// Among events completing exactly at the cursor, the first in sort
+		// order (smallest Ready) binds: it chains the path furthest back.
+		lo := idx
+		for lo > 0 && evs[lo-1].Done == done {
+			lo--
+		}
+		ev := evs[lo]
+		start := ev.Start
+		if start > cursor {
+			start = cursor
+		}
+		add(PathStep{From: start, To: cursor, Resource: ev.Kind, Phase: "service",
+			Track: ev.Track, Op: ev.Op, Label: ev.Label, Stage: ev.Stage})
+		add(PathStep{From: ev.Ready, To: start, Resource: ev.Kind, Phase: "wait",
+			Track: ev.Track, Op: ev.Op, Label: ev.Label, Stage: ev.Stage})
+		cursor = ev.Ready
+	}
+
+	// The walk emitted steps in reverse time order; flip and merge
+	// same-resource/phase neighbours into one step.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	merged := steps[:0]
+	for _, s := range steps {
+		if n := len(merged); n > 0 {
+			p := &merged[n-1]
+			if p.To == s.From && p.Resource == s.Resource && p.Phase == s.Phase &&
+				p.Track == s.Track && p.Op == s.Op && p.Label == s.Label && p.Stage == s.Stage {
+				p.To = s.To
+				continue
+			}
+		}
+		merged = append(merged, s)
+	}
+	att.Steps = merged
+
+	// Aggregate shares in deterministic class order.
+	byClass := map[string]*ResourceShare{}
+	var classes []string
+	for _, s := range att.Steps {
+		sh, ok := byClass[s.Resource]
+		if !ok {
+			sh = &ResourceShare{Resource: s.Resource}
+			byClass[s.Resource] = sh
+			if s.Resource != "idle" {
+				classes = append(classes, s.Resource)
+			}
+		}
+		if s.Phase == "wait" {
+			sh.Wait += s.To - s.From
+		} else {
+			sh.Service += s.To - s.From
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if p, q := kindPriority(classes[i]), kindPriority(classes[j]); p != q {
+			return p < q
+		}
+		return classes[i] < classes[j]
+	})
+	for _, c := range classes {
+		att.Shares = append(att.Shares, *byClass[c])
+	}
+	if idle, ok := byClass["idle"]; ok {
+		att.Shares = append(att.Shares, *idle)
+	}
+	return att
+}
+
+// Publish emits the attribution as horus_critical_path_ps counters into the
+// registry (nil-safe), labelled by resource and phase plus the given extra
+// labels (alternating key, value — e.g. "scheme", "Horus-SLM").
+func (a Attribution) Publish(reg *obs.Registry, labels ...string) {
+	if reg == nil {
+		return
+	}
+	reg.SetHelp("horus_critical_path_ps",
+		"Drain critical-path time bound by each resource class, picoseconds (service = occupying the resource, wait = queued for it).")
+	for _, s := range a.Shares {
+		if s.Resource == "idle" {
+			if s.Total() > 0 {
+				lbl := append([]string{"resource", "idle", "phase", "idle"}, labels...)
+				reg.Counter("horus_critical_path_ps", lbl...).Add(int64(s.Total()))
+			}
+			continue
+		}
+		if s.Service > 0 {
+			lbl := append([]string{"resource", s.Resource, "phase", "service"}, labels...)
+			reg.Counter("horus_critical_path_ps", lbl...).Add(int64(s.Service))
+		}
+		if s.Wait > 0 {
+			lbl := append([]string{"resource", s.Resource, "phase", "wait"}, labels...)
+			reg.Counter("horus_critical_path_ps", lbl...).Add(int64(s.Wait))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package timeline
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.OnReserve("bank00", "bank", 0, 0, 10, 10)
+	r.SetOp("read", "data")
+	r.SetStage("drain:blocks")
+	r.BeginEpisode("x")
+	r.EndEpisode(100)
+	if r.Len() != 0 || r.Dropped() != 0 || r.Limit() != 0 {
+		t.Error("nil recorder reported non-zero state")
+	}
+	if rec := r.Recording(); rec != nil {
+		t.Error("nil recorder produced a recording")
+	}
+}
+
+func TestRecorderStampsOpAndStage(t *testing.T) {
+	r := NewRecorder(0)
+	r.BeginEpisode("ep")
+	r.SetStage("drain:blocks")
+	r.SetOp("write", "chv-data")
+	r.OnReserve("membus", "bus", 0, 0, 5, 5)
+	r.SetOp("mac", "chv-data-mac")
+	r.OnReserve("mac", "mac", 5, 5, 87, 165)
+	r.EndEpisode(200)
+
+	rec := r.Recording()
+	if rec.Episode != "ep" || rec.Total != 200 {
+		t.Fatalf("recording = %q/%d, want ep/200", rec.Episode, rec.Total)
+	}
+	if len(rec.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(rec.Events))
+	}
+	e := rec.Events[0]
+	if e.Op != "write" || e.Label != "chv-data" || e.Stage != "drain:blocks" || e.Kind != "bus" {
+		t.Errorf("event 0 stamped %q/%q/%q/%q", e.Op, e.Label, e.Stage, e.Kind)
+	}
+	e = rec.Events[1]
+	if e.Op != "mac" || e.Label != "chv-data-mac" || e.Done != 165 {
+		t.Errorf("event 1 stamped %q/%q done %d", e.Op, e.Label, e.Done)
+	}
+}
+
+func TestRecorderLimitCountsDropped(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.OnReserve("bank00", "bank", 0, sim.Time(i*10), sim.Time(i*10+10), sim.Time(i*10+10))
+	}
+	if r.Len() != 2 || r.Dropped() != 3 {
+		t.Errorf("len/dropped = %d/%d, want 2/3", r.Len(), r.Dropped())
+	}
+	if rec := r.Recording(); rec.Dropped != 3 {
+		t.Errorf("recording dropped = %d, want 3", rec.Dropped)
+	}
+}
+
+func TestBeginEpisodeResets(t *testing.T) {
+	r := NewRecorder(2)
+	r.SetStage("run")
+	for i := 0; i < 5; i++ {
+		r.OnReserve("bank00", "bank", 0, 0, 10, 10)
+	}
+	r.BeginEpisode("drain")
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Errorf("after BeginEpisode len/dropped = %d/%d, want 0/0", r.Len(), r.Dropped())
+	}
+	r.OnReserve("bank00", "bank", 0, 0, 10, 10)
+	if rec := r.Recording(); rec.Events[0].Stage != "" {
+		t.Errorf("stage %q survived BeginEpisode", rec.Events[0].Stage)
+	}
+}
+
+func TestRecordingTotalFallsBackToLatestDone(t *testing.T) {
+	r := NewRecorder(0)
+	r.OnReserve("bank00", "bank", 0, 0, 10, 10)
+	r.OnReserve("mac", "mac", 0, 0, 20, 90)
+	rec := r.Recording() // no EndEpisode: run-phase-only trace
+	if rec.Total != 90 {
+		t.Errorf("fallback total = %d, want 90", rec.Total)
+	}
+}
+
+func TestTracksOrderedByKind(t *testing.T) {
+	r := NewRecorder(0)
+	r.OnReserve("mac", "mac", 0, 0, 1, 1)
+	r.OnReserve("bank01", "bank", 0, 0, 1, 1)
+	r.OnReserve("aes", "aes", 0, 0, 1, 1)
+	r.OnReserve("membus", "bus", 0, 0, 1, 1)
+	r.OnReserve("bank00", "bank", 0, 0, 1, 1)
+	got := r.Recording().Tracks()
+	want := []string{"bank00", "bank01", "membus", "aes", "mac"}
+	if len(got) != len(want) {
+		t.Fatalf("tracks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tracks = %v, want %v", got, want)
+		}
+	}
+}
+
+// Attaching a nil *Recorder through the sim.Tracer interface must behave
+// like no tracer at all (methods are nil-safe on the nil receiver).
+func TestNilRecorderThroughInterface(t *testing.T) {
+	var rec *Recorder
+	r := sim.NewResource("bank00")
+	var tr sim.Tracer = rec
+	r.SetTracer("bank", tr)
+	r.Acquire(0, 10) // must not panic
+}

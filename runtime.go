@@ -90,17 +90,20 @@ func NewWorkloadSystem(cfg Config, scheme Scheme, domain PersistDomain) *Workloa
 		scfg.Scheme = scheme.RuntimeScheme()
 		sec = secmem.New(scfg, lay, enc, nvm)
 	}
-	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec, Metrics: cfg.Metrics}
+	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec, Metrics: cfg.Metrics, Timeline: cfg.Timeline}
 	machine := runsim.New(runsim.Config{
 		Hierarchy: hcfg,
 		Domain:    domain,
 		ClockHz:   cfg.Sec.ClockHz,
 	}, sec, nvm)
 	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String(), "domain", domain.String())
+	nvm.SetTimeline(cfg.Timeline)
 	if sec != nil {
 		sec.SetMetrics(cfg.Metrics, "scheme", scheme.String(), "domain", domain.String())
+		sec.SetTimeline(cfg.Timeline)
 	}
 	machine.SetMetrics(cfg.Metrics, "domain", domain.String())
+	machine.SetTimeline(cfg.Timeline)
 	return &WorkloadSystem{
 		Config:  cfg,
 		Scheme:  scheme,

@@ -1,0 +1,54 @@
+package horus
+
+import (
+	"io"
+
+	"repro/internal/timeline"
+)
+
+// Event-timeline re-exports (from the internal timeline package). Attach a
+// TimelineRecorder via Config.Timeline to capture every bank, bus and
+// crypto-engine reservation of a drain episode; snapshot it with Recording,
+// export with WriteChromeTrace (chrome://tracing / Perfetto), and decompose
+// the drain time with AnalyzeTimeline. See DESIGN.md §10.
+type (
+	// TimelineRecorder is a bounded, allocation-light event recorder; every
+	// method is nil-safe, so detached simulators pay one pointer check per
+	// reservation.
+	TimelineRecorder = timeline.Recorder
+	// TimelineEvent is one recorded reservation.
+	TimelineEvent = timeline.Event
+	// TimelineRecording is an immutable snapshot of one recorded episode.
+	TimelineRecording = timeline.Recording
+	// TimelineAttribution is the critical-path decomposition of an episode:
+	// its steps tile the drain window exactly, so the per-resource shares
+	// always sum to the measured drain time.
+	TimelineAttribution = timeline.Attribution
+	// TimelineResourceShare is the critical-path time bound by one resource
+	// class.
+	TimelineResourceShare = timeline.ResourceShare
+	// TimelinePathStep is one interval of the critical path.
+	TimelinePathStep = timeline.PathStep
+)
+
+// DefaultTimelineEventLimit bounds a recorder built with
+// NewTimelineRecorder(0).
+const DefaultTimelineEventLimit = timeline.DefaultEventLimit
+
+// NewTimelineRecorder returns an event recorder retaining at most limit
+// events (0 selects DefaultTimelineEventLimit; negative means unlimited).
+func NewTimelineRecorder(limit int) *TimelineRecorder {
+	return timeline.NewRecorder(limit)
+}
+
+// AnalyzeTimeline attributes every picosecond of the recorded episode to
+// its binding resource (bank, bus, aes, mac, or idle).
+func AnalyzeTimeline(rec *TimelineRecording) TimelineAttribution {
+	return timeline.Analyze(rec)
+}
+
+// WriteChromeTrace exports recordings as Chrome trace-event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, recs ...*TimelineRecording) error {
+	return timeline.WriteChromeTrace(w, recs...)
+}
