@@ -251,6 +251,11 @@ func NewSystem(cfg Config, scheme Scheme) *System {
 		VaultBlocks: metaLines*2 + 32,
 	})
 	nvm := mem.NewController(cfg.Mem)
+	// Pre-size the sparse store for the drain's worst-case footprint: every
+	// hierarchy line lands in the CHV (data + address + MAC blocks ≈ 5/4 per
+	// line) plus its counter/tree/MAC metadata; repeated table growth during
+	// the write burst would otherwise dominate the simulator's own time.
+	nvm.Reserve(int(lines+lines/4) + 4096)
 	enc := cme.NewEngine(cfg.KeySeed)
 	scfg := cfg.Sec
 	scfg.Scheme = scheme.RuntimeScheme()

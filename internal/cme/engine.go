@@ -17,9 +17,20 @@ type MAC [MACSize]byte
 // Engine holds the on-chip secret keys and performs functional encryption
 // and MAC computation. One engine corresponds to one processor's secure
 // memory unit; keys never leave the trusted compute base.
+//
+// An Engine is not safe for concurrent use: OTP reuses per-engine scratch
+// buffers (see below). The simulator is single-threaded per system, and
+// parallel sweeps build one engine per episode, so this never shares.
 type Engine struct {
 	block  cipher.Block
 	macKey [32]byte
+
+	// otpPad and otpPT are reusable scratch for OTP. Stack-local buffers
+	// would escape to the heap through the cipher.Block interface call
+	// (the compiler cannot prove Encrypt does not retain its slices),
+	// costing two allocations per encrypted block on the drain hot path.
+	otpPad [64]byte
+	otpPT  [16]byte
 }
 
 // NewEngine derives the AES and MAC keys deterministically from a seed so
@@ -41,14 +52,12 @@ func NewEngine(seed uint64) *Engine {
 // blocks of E_K(addr || counter || i). Temporal uniqueness comes from the
 // counter, spatial uniqueness from the address (§II-B, Fig. 2).
 func (e *Engine) OTP(addr, counter uint64) [64]byte {
-	var pad [64]byte
-	var pt [16]byte
-	binary.LittleEndian.PutUint64(pt[0:8], addr)
+	binary.LittleEndian.PutUint64(e.otpPT[0:8], addr)
 	for i := 0; i < 4; i++ {
-		binary.LittleEndian.PutUint64(pt[8:16], counter<<2|uint64(i))
-		e.block.Encrypt(pad[i*16:(i+1)*16], pt[:])
+		binary.LittleEndian.PutUint64(e.otpPT[8:16], counter<<2|uint64(i))
+		e.block.Encrypt(e.otpPad[i*16:(i+1)*16], e.otpPT[:])
 	}
-	return pad
+	return e.otpPad
 }
 
 // Encrypt XORs the plaintext block with the OTP for (addr, counter).
@@ -71,16 +80,19 @@ func (e *Engine) Decrypt(addr, counter uint64, ct [64]byte) [64]byte {
 // DataMAC computes the MAC protecting one memory block: keyed hash over the
 // address, the encryption counter, and the ciphertext (§II-B: "MACs
 // calculated over the ciphertext, counter and address").
+//
+// The message key || addr || counter || ct is assembled in a stack buffer
+// and hashed with one-shot sha256.Sum256: the digest is identical to the
+// streaming construction but the hot drain path allocates nothing.
 func (e *Engine) DataMAC(addr, counter uint64, ct [64]byte) MAC {
-	h := sha256.New()
-	h.Write(e.macKey[:])
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], addr)
-	binary.LittleEndian.PutUint64(hdr[8:16], counter)
-	h.Write(hdr[:])
-	h.Write(ct[:])
+	var buf [112]byte // 32 key + 16 header + 64 content
+	copy(buf[0:32], e.macKey[:])
+	binary.LittleEndian.PutUint64(buf[32:40], addr)
+	binary.LittleEndian.PutUint64(buf[40:48], counter)
+	copy(buf[48:112], ct[:])
+	sum := sha256.Sum256(buf[:])
 	var m MAC
-	copy(m[:], h.Sum(nil)[:MACSize])
+	copy(m[:], sum[:MACSize])
 	return m
 }
 
@@ -89,15 +101,14 @@ func (e *Engine) DataMAC(addr, counter uint64, ct [64]byte) MAC {
 // Binding (level, index) prevents splicing initialised nodes across
 // positions in the tree.
 func (e *Engine) NodeMAC(level int, index uint64, content [64]byte) MAC {
-	h := sha256.New()
-	h.Write(e.macKey[:])
-	var hdr [16]byte
-	binary.LittleEndian.PutUint64(hdr[0:8], uint64(level))
-	binary.LittleEndian.PutUint64(hdr[8:16], index)
-	h.Write(hdr[:])
-	h.Write(content[:])
+	var buf [112]byte // 32 key + 16 header + 64 content
+	copy(buf[0:32], e.macKey[:])
+	binary.LittleEndian.PutUint64(buf[32:40], uint64(level))
+	binary.LittleEndian.PutUint64(buf[40:48], index)
+	copy(buf[48:112], content[:])
+	sum := sha256.Sum256(buf[:])
 	var m MAC
-	copy(m[:], h.Sum(nil)[:MACSize])
+	copy(m[:], sum[:MACSize])
 	return m
 }
 
@@ -105,13 +116,28 @@ func (e *Engine) NodeMAC(level int, index uint64, content [64]byte) MAC {
 // Horus Double-Level MAC scheme (Fig. 10) and by the small tree protecting
 // the metadata-cache vault.
 func (e *Engine) MACOverMACs(tag uint64, macs []MAC) MAC {
+	if len(macs) <= 8 {
+		// Common case (one MAC block's worth): assemble on the stack.
+		var buf [104]byte // 32 key + 8 tag + 8*8 MACs
+		copy(buf[0:32], e.macKey[:])
+		binary.LittleEndian.PutUint64(buf[32:40], tag)
+		n := 40
+		for i := range macs {
+			copy(buf[n:n+MACSize], macs[i][:])
+			n += MACSize
+		}
+		sum := sha256.Sum256(buf[:n])
+		var out MAC
+		copy(out[:], sum[:MACSize])
+		return out
+	}
 	h := sha256.New()
 	h.Write(e.macKey[:])
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], tag)
 	h.Write(hdr[:])
-	for _, m := range macs {
-		h.Write(m[:])
+	for i := range macs {
+		h.Write(macs[i][:])
 	}
 	var out MAC
 	copy(out[:], h.Sum(nil)[:MACSize])

@@ -64,8 +64,10 @@ type Controller struct {
 	writes *sim.CounterSet
 
 	// wear counts lifetime writes per block for endurance analysis; unlike
-	// the traffic counters it is never reset (cell wear is permanent).
-	wear map[uint64]int64
+	// the traffic counters it is never reset (cell wear is permanent). It
+	// shares the open-addressed table of the block store: the increment sits
+	// on the per-write hot path.
+	wear addrMap[int64]
 
 	observers []Observer         // access tracers, notified in registration order
 	m         *accessMetrics     // optional per-access instrumentation
@@ -150,7 +152,6 @@ func NewController(cfg Config) *Controller {
 		bus:    sim.NewResource("membus"),
 		reads:  sim.NewCounterSet(),
 		writes: sim.NewCounterSet(),
-		wear:   make(map[uint64]int64),
 	}
 	for i := 0; i < cfg.Banks; i++ {
 		c.banks = append(c.banks, sim.NewResource(fmt.Sprintf("bank%02d", i)))
@@ -175,6 +176,13 @@ func (c *Controller) SetTimeline(rec *timeline.Recorder) {
 
 // Store exposes the functional backing store (for tests and recovery).
 func (c *Controller) Store() *Store { return c.store }
+
+// Reserve pre-sizes the backing store and the wear table for an expected
+// footprint of n populated blocks (see Store.Reserve).
+func (c *Controller) Reserve(n int) {
+	c.store.Reserve(n)
+	c.wear.reserve(n)
+}
 
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
@@ -216,7 +224,7 @@ func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim
 // faulted view — possibly torn, bit-flipped, or not committed at all.
 func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) sim.Time {
 	c.writes.Add(string(cat), 1)
-	c.wear[addr]++
+	*c.wear.ref(addr)++
 	if c.tl != nil {
 		c.tl.SetOp("write", string(cat))
 	}
@@ -260,30 +268,33 @@ type WearStats struct {
 // is never reset by ResetStats — cell wear is permanent).
 func (c *Controller) WearStats() WearStats {
 	var ws WearStats
-	for addr, n := range c.wear {
-		ws.TotalWrites += n
-		if n > ws.MaxWrites {
+	c.wear.each(func(addr uint64, n int64) {
+		if n > ws.MaxWrites || (n == ws.MaxWrites && addr < ws.HotAddr) {
 			ws.MaxWrites, ws.HotAddr = n, addr
 		}
-	}
-	ws.UniqueBlocks = len(c.wear)
+		ws.TotalWrites += n
+	})
+	ws.UniqueBlocks = c.wear.len()
 	return ws
 }
 
 // WearOf returns the lifetime write count of one block.
-func (c *Controller) WearOf(addr uint64) int64 { return c.wear[addr] }
+func (c *Controller) WearOf(addr uint64) int64 {
+	n, _ := c.wear.get(addr)
+	return n
+}
 
 // WearInRange returns the maximum and total lifetime writes within
 // [lo, hi), e.g. over the CHV region.
 func (c *Controller) WearInRange(lo, hi uint64) (max, total int64) {
-	for addr, n := range c.wear {
+	c.wear.each(func(addr uint64, n int64) {
 		if addr >= lo && addr < hi {
 			total += n
 			if n > max {
 				max = n
 			}
 		}
-	}
+	})
 	return max, total
 }
 

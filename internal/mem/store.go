@@ -26,14 +26,17 @@ func (b *Block) IsZero() bool {
 }
 
 // Store is a sparse functional memory: unwritten blocks read as zero.
-// Addresses are byte addresses and must be 64-byte aligned.
+// Addresses are byte addresses and must be 64-byte aligned. Blocks live in
+// an open-addressed table (addrmap.go) rather than a Go map: every timed
+// access funnels through ReadBlock/WriteBlock, so the probe cost and the
+// map's per-bucket overhead are on the simulator's hottest path.
 type Store struct {
-	blocks map[uint64]Block
+	blocks addrMap[Block]
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{blocks: make(map[uint64]Block)}
+	return &Store{}
 }
 
 func checkAligned(addr uint64) {
@@ -45,26 +48,28 @@ func checkAligned(addr uint64) {
 // ReadBlock returns the content of the block at addr (zero if never written).
 func (s *Store) ReadBlock(addr uint64) Block {
 	checkAligned(addr)
-	return s.blocks[addr]
+	b, _ := s.blocks.get(addr)
+	return b
 }
 
 // WriteBlock stores b at addr.
 func (s *Store) WriteBlock(addr uint64, b Block) {
 	checkAligned(addr)
-	s.blocks[addr] = b
+	*s.blocks.ref(addr) = b
 }
 
 // Populated returns the number of blocks that have been written.
-func (s *Store) Populated() int { return len(s.blocks) }
+func (s *Store) Populated() int { return s.blocks.len() }
+
+// Reserve pre-sizes the store for at least n populated blocks, so the
+// drain's write burst doesn't pay repeated table-growth rehashes. It never
+// shrinks and is safe at any time.
+func (s *Store) Reserve(n int) { s.blocks.reserve(n) }
 
 // Snapshot returns a deep copy of the store, used by tests to compare
 // pre-crash and post-recovery memory images.
 func (s *Store) Snapshot() *Store {
-	out := NewStore()
-	for a, b := range s.blocks {
-		out.blocks[a] = b
-	}
-	return out
+	return &Store{blocks: s.blocks.clone()}
 }
 
 // AddressesInRange returns the sorted addresses of populated blocks within
@@ -72,11 +77,11 @@ func (s *Store) Snapshot() *Store {
 // the full (sparse) address space.
 func (s *Store) AddressesInRange(lo, hi uint64) []uint64 {
 	var out []uint64
-	for a := range s.blocks {
+	s.blocks.each(func(a uint64, _ Block) {
 		if a >= lo && a < hi {
 			out = append(out, a)
 		}
-	}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -86,9 +91,8 @@ func (s *Store) AddressesInRange(lo, hi uint64) []uint64 {
 // previous block content.
 func (s *Store) CorruptByte(addr uint64, byteOffset int, bitMask byte) Block {
 	checkAligned(addr)
-	old := s.blocks[addr]
-	nb := old
-	nb[byteOffset] ^= bitMask
-	s.blocks[addr] = nb
+	p := s.blocks.ref(addr)
+	old := *p
+	p[byteOffset] ^= bitMask
 	return old
 }

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/timeline"
+)
+
+// Golden-file tests pin the rendered byte output of the timeline report
+// views. Regenerate after an intentional format change with:
+//
+//	go test ./internal/report -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// goldenRecording builds a small deterministic drain episode by hand: two
+// banks with queued writes (wait on bank), a shared bus, a pipelined AES
+// engine and a MAC unit, a stage marker, and a trailing idle gap so every
+// rendering feature — density levels, wait uppercase, idle blanks, the
+// per-episode total row — appears in the output.
+func goldenRecording() *timeline.Recording {
+	r := timeline.NewRecorder(0)
+	r.BeginEpisode("golden-slm")
+
+	r.SetStage("drain:blocks")
+	r.SetOp("write", "chv-data")
+	// bank00: back-to-back writes; the second is ready at 0 but waits.
+	r.OnReserve("bank00", "bank", 0, 0, 500, 500)
+	r.OnReserve("bank00", "bank", 0, 500, 1000, 1000)
+	// bank01: one write, then idle.
+	r.OnReserve("bank01", "bank", 0, 0, 500, 500)
+	// bus transfers overlap the bank service.
+	r.SetOp("xfer", "chv-data")
+	r.OnReserve("membus", "bus", 0, 0, 120, 120)
+	r.OnReserve("membus", "bus", 500, 500, 620, 620)
+
+	r.SetStage("drain:chv-stream")
+	r.SetOp("aes", "otp")
+	// Pipelined engine: issue slot (End) shorter than completion (Done).
+	r.OnReserve("aes", "aes", 1000, 1000, 1082, 1160)
+	r.OnReserve("aes", "aes", 1082, 1082, 1164, 1242)
+	r.SetOp("mac", "chv-data-mac")
+	// MAC ready at 1160 but its unit is busy until 1300: wait shows up.
+	r.OnReserve("mac", "mac", 1160, 1300, 1460, 1460)
+
+	// Episode runs to 2000: [1460, 2000) has nothing in flight -> idle.
+	r.EndEpisode(2000)
+	return r.Recording()
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s: output differs from golden file (rerun with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenAttributionTable(t *testing.T) {
+	rec := goldenRecording()
+	checkGolden(t, "attribution.golden", AttributionTable(timeline.Analyze(rec)).String())
+}
+
+// TestGoldenAttributionTableDropped covers the dropped-events warning note:
+// a recorder with a tiny limit keeps the first events and counts the rest.
+func TestGoldenAttributionTableDropped(t *testing.T) {
+	r := timeline.NewRecorder(2)
+	r.BeginEpisode("golden-dropped")
+	r.SetOp("write", "chv-data")
+	r.OnReserve("bank00", "bank", 0, 0, 500, 500)
+	r.OnReserve("bank00", "bank", 0, 500, 1000, 1000)
+	r.OnReserve("bank00", "bank", 0, 1000, 1500, 1500) // dropped
+	r.EndEpisode(1500)
+	checkGolden(t, "attribution_dropped.golden", AttributionTable(timeline.Analyze(r.Recording())).String())
+}
+
+func TestGoldenGantt(t *testing.T) {
+	rec := goldenRecording()
+	checkGolden(t, "gantt.golden", Gantt(rec).String())
+}
+
+// TestGoldenGanttEmpty pins the degenerate rendering of an empty episode.
+func TestGoldenGanttEmpty(t *testing.T) {
+	r := timeline.NewRecorder(0)
+	r.BeginEpisode("golden-empty")
+	r.EndEpisode(0)
+	checkGolden(t, "gantt_empty.golden", Gantt(r.Recording()).String())
+}

@@ -18,6 +18,24 @@ const maxEvictionDepth = 128
 // zeroMAC is the parent entry of a never-written child.
 var zeroMAC cme.MAC
 
+// levelLabels caches the per-level counter keys: formatting "L%d" on every
+// verification-walk fetch was a measurable share of drain allocations. Tree
+// heights stay well under 32 levels for any simulated capacity.
+var levelLabels = func() [32]string {
+	var ls [32]string
+	for i := range ls {
+		ls[i] = fmt.Sprintf("L%d", i)
+	}
+	return ls
+}()
+
+func levelLabel(level int) string {
+	if level >= 0 && level < len(levelLabels) {
+		return levelLabels[level]
+	}
+	return fmt.Sprintf("L%d", level)
+}
+
 // entryOf extracts the 8-byte entry for a child slot from a parent node.
 func entryOf(parent mem.Block, slot int) cme.MAC {
 	var m cme.MAC
@@ -50,7 +68,7 @@ func (c *Controller) ensureNode(ready sim.Time, level int, index uint64) (mem.Bl
 	}
 	// Miss: fetch from NVM and verify against the parent, which is fetched
 	// (and verified) recursively until a cached ancestor or the root.
-	c.levelFetches.Add(fmt.Sprintf("L%d", level), 1)
+	c.levelFetches.Add(levelLabel(level), 1)
 	raw, t := c.nvm.Read(ready, addr, memCategoryFor(level))
 	pLevel, pIndex, slot := c.lay.Parent(level, index)
 	parent, t, err := c.ensureNode(t, pLevel, pIndex)

@@ -63,6 +63,12 @@ func (tl *timeline) insertGap(g gap, i int) {
 	if g.end <= g.start {
 		return
 	}
+	if tl.gaps == nil {
+		// One allocation per timeline lifetime: the list is bounded by
+		// maxGaps and reset keeps the backing array, so episode loops that
+		// Reset between drains never re-grow it.
+		tl.gaps = make([]gap, 0, maxGaps)
+	}
 	if len(tl.gaps) >= maxGaps {
 		// Drop the smallest gap (never this one if it is larger).
 		smallest, si := g.end-g.start, -1
@@ -87,5 +93,5 @@ func (tl *timeline) insertGap(g gap, i int) {
 // freeAt returns the tail free time (ignoring interior gaps).
 func (tl *timeline) freeAt() Time { return tl.tail }
 
-// reset clears the schedule.
-func (tl *timeline) reset() { tl.gaps = nil; tl.tail = 0 }
+// reset clears the schedule, keeping the gap list's backing array.
+func (tl *timeline) reset() { tl.gaps = tl.gaps[:0]; tl.tail = 0 }

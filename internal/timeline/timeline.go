@@ -68,7 +68,14 @@ func NewRecorder(limit int) *Recorder {
 	if limit == 0 {
 		limit = DefaultEventLimit
 	}
-	return &Recorder{limit: limit}
+	// Pre-size the event buffer so a recording episode starts with a few
+	// thousand slots instead of doubling up from one; the cap stays well
+	// under the limit so tiny bounded recorders don't over-allocate.
+	pre := 4096
+	if limit > 0 && limit < pre {
+		pre = limit
+	}
+	return &Recorder{limit: limit, events: make([]Event, 0, pre)}
 }
 
 // OnReserve implements sim.Tracer: it appends one event stamped with the

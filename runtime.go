@@ -83,6 +83,7 @@ func NewWorkloadSystem(cfg Config, scheme Scheme, domain PersistDomain) *Workloa
 		VaultBlocks: metaLines*2 + 32,
 	})
 	nvm := mem.NewController(cfg.Mem)
+	nvm.Reserve(int(lines+lines/4) + 4096)
 	enc := cme.NewEngine(cfg.KeySeed)
 	var sec *secmem.Controller
 	if scheme.Secure() {
