@@ -561,3 +561,26 @@ func BenchmarkTimelineDisabledOverhead(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) { benchmarkTimelineOverhead(b, false) })
 	b.Run("enabled", func(b *testing.B) { benchmarkTimelineOverhead(b, true) })
 }
+
+// BenchmarkTimeseriesDisabledOverhead is the same contract for the
+// time-series sampler: with cfg.Timeseries == nil every per-event hook
+// (per-block drain samples, per-access bank-depth samples) is a single
+// pointer check with zero allocations, so the "disabled" sub must match an
+// unsampled run. "enabled" shows the cost of live windowed recording.
+func benchmarkTimeseriesOverhead(b *testing.B, sampled bool) {
+	b.ReportAllocs()
+	cfg := TestConfig()
+	for i := 0; i < b.N; i++ {
+		if sampled {
+			cfg.Timeseries = NewTimeseriesSampler(0, 0)
+		}
+		if _, err := RunDrain(cfg, HorusSLM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimeseriesDisabledOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) { benchmarkTimeseriesOverhead(b, false) })
+	b.Run("enabled", func(b *testing.B) { benchmarkTimeseriesOverhead(b, true) })
+}

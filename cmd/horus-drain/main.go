@@ -8,6 +8,8 @@
 //	horus-drain -scheme base-lu -llc 32 -compare
 //	horus-drain -scale test -scheme horus-dlm -v
 //	horus-drain -scale test -scheme horus-dlm -trace drain.json -trace-attrib
+//	horus-drain -scale test -scheme horus-slm -trace-energy -battery-cm3 2e-5 -battery-tech supercap
+//	horus-drain -scale test -scheme horus-slm -serve :8080 -serve-linger 30s
 package main
 
 import (
@@ -33,10 +35,15 @@ func main() {
 		verbose     = flag.Bool("v", false, "print per-category breakdowns")
 		traceFile   = flag.String("access-trace", "", "write a CSV trace of every memory access to this file")
 		traceLimit  = flag.Int("access-trace-limit", 2_000_000, "maximum access-trace events retained (0 = unlimited)")
+		traceEnergy = flag.Bool("trace-energy", false, "print a sparkline of the energy drawdown over the drain (records time series)")
+		batteryCm3  = flag.Float64("battery-cm3", 0, "provisioned back-up battery volume in cm^3; with -battery-tech sets the hold-up energy budget and enables the drain SLOs")
+		batteryTech = flag.String("battery-tech", "supercap", "back-up battery technology: supercap | li-thin (Table III densities)")
+		batteryJ    = flag.Float64("battery-j", 0, "hold-up energy budget in joules (overrides -battery-cm3/-battery-tech)")
 	)
 	mf := cliutil.AddMetricsFlags()
 	tf := cliutil.AddTraceFlags()
 	pf := cliutil.AddProfileFlags()
+	tfl := cliutil.AddTelemetryFlags(false)
 	flag.Parse()
 	if err := pf.Start(); err != nil {
 		fatal(err)
@@ -56,8 +63,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg.Metrics = mf.Registry()
+	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
 	cfg.Timeline = tf.Recorder()
+
+	budgetJ := *batteryJ
+	if budgetJ <= 0 && *batteryCm3 > 0 {
+		b, ok := horus.BatteryBudgetJoules(*batteryCm3, *batteryTech)
+		if !ok {
+			fatal(fmt.Errorf("unknown battery tech %q (want supercap|li-thin)", *batteryTech))
+		}
+		budgetJ = b
+	}
+	cfg.BatteryJoules = budgetJ
+	cfg.Timeseries = tfl.Sampler()
+	if cfg.Timeseries == nil && (*traceEnergy || budgetJ > 0) {
+		// Energy tracing and the drain SLOs both need the recorded series
+		// even when neither -ts nor -serve asked for an export.
+		cfg.Timeseries = horus.NewTimeseriesSampler(tfl.WindowNs*1000, tfl.Capacity)
+	}
+	if err := tfl.StartServer(cfg.Metrics); err != nil {
+		fatal(err)
+	}
 
 	sys := horus.NewSystem(cfg, scheme)
 	var rec *trace.Recorder
@@ -118,13 +144,44 @@ func main() {
 	}
 
 	if *compareFlag && scheme != horus.NonSecure {
-		ns, err := horus.RunDrain(cfg, horus.NonSecure)
+		nsCfg := cfg
+		nsCfg.Timeseries = nil // reference run: keep the episode's series clean
+		ns, err := horus.RunDrain(nsCfg, horus.NonSecure)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("vs non-secure: %.2fx memory accesses, %.2fx draining time\n",
 			float64(res.TotalMemAccesses())/float64(ns.TotalMemAccesses()),
 			float64(res.DrainTime)/float64(ns.DrainTime))
+	}
+
+	sloOK := true
+	if cfg.Timeseries != nil {
+		snap := cfg.Timeseries.Snapshot()
+		if *traceEnergy {
+			fmt.Println()
+			for _, s := range snap.Find("horus_ts_energy_j") {
+				fmt.Println(report.SparklineChart("energy drawdown", s.Values(), 60, report.Joules))
+			}
+			if budgetJ > 0 {
+				fmt.Printf("battery budget: %s (drain deadline %v)\n",
+					report.Joules(budgetJ), energy.DrainDeadline(cfg.Energy, budgetJ))
+			}
+		}
+		if budgetJ > 0 {
+			rep := horus.EvaluateSLO(horus.DrainSLORules(cfg, budgetJ), snap)
+			fmt.Println()
+			rep.Table().Fprint(os.Stdout)
+			sloOK = rep.Ok()
+		}
+	}
+	if err := tfl.WriteTimeseries(); err != nil {
+		fatal(err)
+	}
+	tfl.Shutdown()
+	if !sloOK {
+		fmt.Fprintln(os.Stderr, "horus-drain: drain SLO violated")
+		os.Exit(2)
 	}
 }
 

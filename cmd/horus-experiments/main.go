@@ -36,6 +36,7 @@ func main() {
 	mf := cliutil.AddMetricsFlags()
 	tf := cliutil.AddTraceFlags()
 	pf := cliutil.AddProfileFlags()
+	tfl := cliutil.AddTelemetryFlags(true)
 	flag.Parse()
 	emitCSVTo = *csvDir
 	if err := pf.Start(); err != nil {
@@ -45,7 +46,6 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts := horus.SweepOptions{Parallel: *parallel, Timeout: *timeout}
 
 	var cfg horus.Config
 	switch *scaleFlag {
@@ -57,8 +57,13 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
 	}
 	cfg.Seed = *seed
-	cfg.Metrics = mf.Registry()
+	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
 	cfg.Timeline = tf.Recorder()
+	cfg.Timeseries = tfl.Sampler()
+	if err := tfl.StartServer(cfg.Metrics); err != nil {
+		fatal(err)
+	}
+	opts := horus.SweepOptions{Parallel: *parallel, Timeout: *timeout, Progress: tfl.ProgressFunc()}
 
 	want := strings.Split(*expFlag, ",")
 	has := func(name string) bool {
@@ -180,6 +185,10 @@ func main() {
 		}
 		fmt.Printf("metrics: %s snapshot to %s\n", mf.Format, mf.Path)
 	}
+	if err := tfl.WriteTimeseries(); err != nil {
+		fatal(err)
+	}
+	tfl.Shutdown()
 }
 
 // emitCSVTo, when non-empty, is the directory tables are mirrored into.

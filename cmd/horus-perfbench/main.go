@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"time"
 
 	horus "repro"
+	"repro/internal/cliutil"
 	"repro/internal/perfbench"
 )
 
@@ -35,6 +37,7 @@ func main() {
 		failAt   = flag.Float64("fail", 0.30, "fail when the median regresses by more than this fraction")
 		list     = flag.Bool("list", false, "list benchmark names and exit")
 	)
+	tfl := cliutil.AddTelemetryFlags(true)
 	flag.Parse()
 
 	var suite perfbench.Suite
@@ -55,11 +58,24 @@ func main() {
 		}
 		opts.Filter = re
 	}
+	if err := tfl.StartServer(nil); err != nil {
+		fatal(err)
+	}
+	if progress := tfl.ProgressFunc(); progress != nil {
+		start := time.Now()
+		opts.OnProgress = func(done, total int, name string) {
+			progress(horus.SweepProgress{
+				Done: done, Total: total, Index: done - 1, Label: name,
+				Elapsed: time.Since(start),
+			})
+		}
+	}
 
 	report, err := suite.Run(opts)
 	if err != nil {
 		fatal(err)
 	}
+	tfl.Shutdown()
 	if *out != "" {
 		if err := report.WriteJSON(*out); err != nil {
 			fatal(err)

@@ -35,6 +35,7 @@ func main() {
 	)
 	mf := cliutil.AddMetricsFlags()
 	pf := cliutil.AddProfileFlags()
+	tfl := cliutil.AddTelemetryFlags(false)
 	flag.Parse()
 	if err := pf.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "horus-plan:", err)
@@ -46,7 +47,19 @@ func main() {
 	cfg.LLCBytes = *llcMB << 20
 	cfg.DataSize = uint64(*memGB) << 30
 	cfg.Mem.Banks = *banks
-	cfg.Metrics = mf.Registry()
+	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
+	cfg.Timeseries = tfl.Sampler()
+	if err := tfl.StartServer(cfg.Metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "horus-plan:", err)
+		os.Exit(1)
+	}
+	defer tfl.Shutdown()
+	defer func() {
+		if err := tfl.WriteTimeseries(); err != nil {
+			fmt.Fprintln(os.Stderr, "horus-plan:", err)
+			os.Exit(1)
+		}
+	}()
 
 	t := &report.Table{
 		Title: fmt.Sprintf("EPD battery plan: %d MB LLC over %d GB NVM (%d banks)",

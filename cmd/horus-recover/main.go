@@ -30,6 +30,7 @@ func main() {
 	)
 	mf := cliutil.AddMetricsFlags()
 	pf := cliutil.AddProfileFlags()
+	tfl := cliutil.AddTelemetryFlags(false)
 	flag.Parse()
 	if err := pf.Start(); err != nil {
 		fatal(err)
@@ -41,7 +42,17 @@ func main() {
 		cfg = horus.DefaultConfig()
 	}
 	cfg.Seed = *seed
-	cfg.Metrics = mf.Registry()
+	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
+	cfg.Timeseries = tfl.Sampler()
+	if err := tfl.StartServer(cfg.Metrics); err != nil {
+		fatal(err)
+	}
+	defer tfl.Shutdown()
+	defer func() {
+		if err := tfl.WriteTimeseries(); err != nil {
+			fatal(err)
+		}
+	}()
 	scheme, err := cliutil.ParseScheme(*schemeFlag)
 	if err != nil {
 		fatal(err)

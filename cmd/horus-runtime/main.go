@@ -35,6 +35,7 @@ func main() {
 	mf := cliutil.AddMetricsFlags()
 	tf := cliutil.AddTraceFlags()
 	pf := cliutil.AddProfileFlags()
+	tfl := cliutil.AddTelemetryFlags(false)
 	flag.Parse()
 	if err := pf.Start(); err != nil {
 		fatal(err)
@@ -42,8 +43,18 @@ func main() {
 	defer pf.Stop()
 
 	cfg := horus.TestConfig()
-	cfg.Metrics = mf.Registry()
+	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
 	cfg.Timeline = tf.Recorder()
+	cfg.Timeseries = tfl.Sampler()
+	if err := tfl.StartServer(cfg.Metrics); err != nil {
+		fatal(err)
+	}
+	defer tfl.Shutdown()
+	defer func() {
+		if err := tfl.WriteTimeseries(); err != nil {
+			fatal(err)
+		}
+	}()
 	wl, err := cliutil.MakeWorkload(*wlFlag, horus.WorkloadConfig{
 		Ops: *ops, WorkingSet: uint64(*wsKB) << 10, Seed: *seed, PersistPercent: *persist,
 	})

@@ -42,6 +42,7 @@ func main() {
 	)
 	mf := cliutil.AddMetricsFlags()
 	pf := cliutil.AddProfileFlags()
+	tfl := cliutil.AddTelemetryFlags(true)
 	flag.Parse()
 	if err := pf.Start(); err != nil {
 		fatal(err)
@@ -56,7 +57,16 @@ func main() {
 		fatal(err)
 	}
 	cfg.Seed = *seed
-	cfg.Metrics = mf.Registry()
+	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
+	cfg.Timeseries = tfl.Sampler()
+	if cfg.Timeseries == nil {
+		// The no-silent-corruption SLO always runs; it needs the recorded
+		// outcome series even without -ts or -serve.
+		cfg.Timeseries = horus.NewTimeseriesSampler(tfl.WindowNs*1000, tfl.Capacity)
+	}
+	if err := tfl.StartServer(cfg.Metrics); err != nil {
+		fatal(err)
+	}
 
 	tc := horus.TortureConfig{
 		Config:    cfg,
@@ -89,7 +99,9 @@ func main() {
 		return w
 	}
 
-	rep, err := horus.RunTortureMatrix(ctx, tc, horus.SweepOptions{Parallel: *parallel, Timeout: *timeout})
+	rep, err := horus.RunTortureMatrix(ctx, tc, horus.SweepOptions{
+		Parallel: *parallel, Timeout: *timeout, Progress: tfl.ProgressFunc(),
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -119,7 +131,19 @@ func main() {
 		fmt.Printf("metrics: %s snapshot to %s\n", mf.Format, mf.Path)
 	}
 
-	if !rep.Ok() {
+	// The silent-corruption SLO over the recorded outcome series: stricter
+	// than rep.Ok() alone, it also fails a matrix that recorded no data.
+	slo := horus.EvaluateSLO(horus.TortureSLORules(), cfg.Timeseries.Snapshot())
+	if !slo.Ok() {
+		fmt.Println()
+		slo.Table().Fprint(os.Stdout)
+	}
+	if err := tfl.WriteTimeseries(); err != nil {
+		fatal(err)
+	}
+	tfl.Shutdown()
+
+	if !rep.Ok() || !slo.Ok() {
 		fmt.Fprintf(os.Stderr, "horus-torture: %d of %d cells violated the recovery contract\n",
 			len(rep.Failures()), len(rep.Cells))
 		pf.Stop() // os.Exit skips defers; flush the profiles first

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"repro/internal/obs/timeseries"
 	"repro/internal/sweep"
 )
 
@@ -18,6 +19,12 @@ type SweepOptions struct {
 	// Timeout bounds the whole grid; 0 means no timeout. Episodes not
 	// finished when it expires report context.DeadlineExceeded.
 	Timeout time.Duration
+	// Progress, when non-nil, is called once per finished episode
+	// (serialized, completion order) with done/total counts and wall-clock
+	// pacing. It feeds the -progress stderr line and the -serve SSE
+	// stream; it is wall-clock-side only and cannot perturb simulated
+	// results.
+	Progress func(SweepProgress)
 }
 
 // DrainPoint is one (config, scheme) episode of an experiment grid.
@@ -53,6 +60,7 @@ type pointValue struct {
 	res Result
 	rec *RecoveryReport
 	tl  *TimelineRecording
+	ts  *TimeseriesSampler // per-episode sampler (merged into the sink in order)
 }
 
 // RunDrainGrid executes the points through the episode engine: a bounded
@@ -71,10 +79,14 @@ type pointValue struct {
 // failed point.
 func RunDrainGrid(ctx context.Context, points []DrainPoint, opts SweepOptions) ([]PointResult, error) {
 	var sink *MetricsRegistry
+	var tsSink *TimeseriesSampler
 	var baseSeed int64
 	for i := range points {
 		if sink == nil {
 			sink = points[i].Config.Metrics
+		}
+		if tsSink == nil {
+			tsSink = points[i].Config.Timeseries
 		}
 	}
 	if len(points) > 0 {
@@ -98,6 +110,7 @@ func RunDrainGrid(ctx context.Context, points []DrainPoint, opts SweepOptions) (
 		Timeout:  opts.Timeout,
 		BaseSeed: baseSeed,
 		Metrics:  sink,
+		Progress: opts.Progress,
 	})
 	results, err := runner.Run(ctx, eps)
 
@@ -108,6 +121,10 @@ func RunDrainGrid(ctx context.Context, points []DrainPoint, opts SweepOptions) (
 			out[i].Result = v.res
 			out[i].Recovery = v.rec
 			out[i].Timeline = v.tl
+			// Deterministic post-hoc aggregation, exactly like metrics:
+			// per-episode samplers merge into the base sampler in episode
+			// order regardless of completion order.
+			tsSink.Merge(v.ts)
 		}
 	}
 	return out, err
@@ -126,6 +143,17 @@ func runPointEpisode(ctx context.Context, pt DrainPoint, env sweep.Env) (pointVa
 	if pt.Config.Timeline != nil {
 		cfg.Timeline = NewTimelineRecorder(pt.Config.Timeline.Limit())
 	}
+	// Same for the time-series sampler: a fresh per-episode sampler with
+	// the base sampler's resolution, tagged with the grid point so merged
+	// series never collide across episodes.
+	if pt.Config.Timeseries != nil {
+		base := pt.Config.Timeseries
+		label := pt.Label
+		if label == "" {
+			label = pt.Scheme.String()
+		}
+		cfg.Timeseries = timeseries.New(base.WindowPs(), base.Capacity(), "point", label)
+	}
 
 	sys := NewSystem(cfg, pt.Scheme)
 	if err := sys.Warmup(); err != nil {
@@ -139,7 +167,7 @@ func runPointEpisode(ctx context.Context, pt DrainPoint, env sweep.Env) (pointVa
 	if err != nil {
 		return pointValue{}, err
 	}
-	val := pointValue{res: res}
+	val := pointValue{res: res, ts: cfg.Timeseries}
 	if cfg.Timeline != nil {
 		val.tl = cfg.Timeline.Recording()
 		AnalyzeTimeline(val.tl).Publish(cfg.Metrics, "scheme", pt.Scheme.String())
@@ -167,6 +195,7 @@ func runEpisodes(ctx context.Context, cfg Config, opts SweepOptions, eps []Episo
 		Timeout:  opts.Timeout,
 		BaseSeed: cfg.Seed,
 		Metrics:  cfg.Metrics,
+		Progress: opts.Progress,
 	})
 	return runner.Run(ctx, eps)
 }

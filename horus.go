@@ -176,6 +176,20 @@ type Config struct {
 	// recording entirely; the detached fast path costs one pointer check
 	// per reservation.
 	Timeline *TimelineRecorder
+	// Timeseries, when non-nil, records windowed sim-time series during
+	// the episode: per-scheme energy drawdown (and its fraction of
+	// BatteryJoules), blocks drained per window, per-bank queue depth,
+	// and run-phase op rates. Sweep grids clone a fresh per-episode
+	// sampler (labelled with the grid point) and merge back in episode
+	// order, so output is byte-identical at any parallelism. Leave nil to
+	// disable sampling entirely; the detached fast path costs one pointer
+	// check per event.
+	Timeseries *TimeseriesSampler
+	// BatteryJoules, when positive, is the hold-up energy budget the
+	// drain races against (derive it from a Table III volume with
+	// BatteryBudgetJoules). It enables the horus_ts_energy_budget_frac
+	// series and the drain SLO rules.
+	BatteryJoules float64
 }
 
 // DefaultConfig returns the paper's Table I configuration at full scale:
@@ -260,11 +274,16 @@ func NewSystem(cfg Config, scheme Scheme) *System {
 	scfg := cfg.Sec
 	scfg.Scheme = scheme.RuntimeScheme()
 	sec := secmem.New(scfg, lay, enc, nvm)
-	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec, Metrics: cfg.Metrics, Timeline: cfg.Timeline}
+	cs := &core.System{
+		Layout: lay, Enc: enc, NVM: nvm, Sec: sec,
+		Metrics: cfg.Metrics, Timeline: cfg.Timeline,
+		Timeseries: cfg.Timeseries, Energy: cfg.Energy, BatteryJoules: cfg.BatteryJoules,
+	}
 	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String())
 	sec.SetMetrics(cfg.Metrics, "scheme", scheme.String())
 	nvm.SetTimeline(cfg.Timeline)
 	sec.SetTimeline(cfg.Timeline)
+	nvm.SetTimeseries(cfg.Timeseries, "scheme", scheme.String())
 	return &System{
 		Config:    cfg,
 		Scheme:    scheme,

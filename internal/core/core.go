@@ -26,9 +26,11 @@ import (
 
 	"repro/internal/bmt"
 	"repro/internal/cme"
+	"repro/internal/energy"
 	"repro/internal/hierarchy"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/secmem"
 	"repro/internal/sim"
 	"repro/internal/timeline"
@@ -171,6 +173,25 @@ type System struct {
 	// their own SetTimeline; the drainer brackets each episode so the
 	// recording covers exactly the measured drain window.
 	Timeline *timeline.Recorder
+
+	// Timeseries, when non-nil, receives windowed sim-time series during
+	// the drain: blocks flushed per window, the cumulative energy
+	// drawdown (and its fraction of BatteryJoules), and the final drain
+	// time. The NVM attaches to the same sampler via SetTimeseries for
+	// per-bank queue depth. All sampling is nil-safe and read-only with
+	// respect to simulated state.
+	Timeseries *timeseries.Sampler
+
+	// Energy holds the energy-model constants the drawdown series uses;
+	// zero params record a zero-energy series (callers that want the
+	// paper's numbers pass energy.DefaultParams()).
+	Energy energy.Params
+
+	// BatteryJoules, when positive, is the hold-up energy budget the
+	// drain races against (Table III volume × technology density). It
+	// enables the horus_ts_energy_budget_frac series the drain-deadline
+	// SLO evaluates.
+	BatteryJoules float64
 }
 
 // Drainer executes one draining episode for a given scheme.
@@ -185,6 +206,63 @@ type Drainer struct {
 	episodes uint64 // completed draining episodes (persistent)
 	region   uint64 // CHV rotation region of the episode in progress
 	startDC  uint64 // dc value at entry of the episode in progress
+
+	// tsb caches the episode's time-series handles; nil when sampling is
+	// off, making sampleBlock a single pointer check on the per-block
+	// drain hot path.
+	tsb *drainSampling
+}
+
+// drainSampling is the per-episode time-series state of one drain.
+type drainSampling struct {
+	blocks    *timeseries.Series // counter: blocks flushed per window
+	energyJ   *timeseries.Series // gauge: cumulative drain energy, joules
+	budget    *timeseries.Series // gauge: energyJ / BatteryJoules (nil without a budget)
+	drainTime *timeseries.Series // gauge: final drain time, picoseconds
+	params    energy.Params
+	budgetJ   float64
+}
+
+// startSampling builds the episode's series handles (no-op when the system
+// has no sampler).
+func (d *Drainer) startSampling() {
+	if d.sys.Timeseries == nil {
+		d.tsb = nil
+		return
+	}
+	ts := d.sys.Timeseries
+	scheme := d.scheme.String()
+	s := &drainSampling{
+		blocks:    ts.Counter("horus_ts_blocks_drained", "scheme", scheme),
+		energyJ:   ts.Gauge("horus_ts_energy_j", "scheme", scheme),
+		drainTime: ts.Gauge("horus_ts_drain_time_ps", "scheme", scheme),
+		params:    d.sys.Energy,
+		budgetJ:   d.sys.BatteryJoules,
+	}
+	if s.budgetJ > 0 {
+		s.budget = ts.Gauge("horus_ts_energy_budget_frac", "scheme", scheme)
+	}
+	d.tsb = s
+}
+
+// sampleBlock records one flushed block at running drain time t: the block
+// count and the energy model evaluated over the accesses issued so far.
+// One pointer check when sampling is off.
+func (d *Drainer) sampleBlock(t sim.Time) {
+	s := d.tsb
+	if s == nil {
+		return
+	}
+	s.blocks.Record(int64(t), 1)
+	s.sampleEnergy(t, d.sys)
+}
+
+func (s *drainSampling) sampleEnergy(t sim.Time, sys *System) {
+	e := energy.Estimate(s.params, t, sys.NVM.TotalWrites(), sys.NVM.TotalReads()).Total()
+	s.energyJ.Record(int64(t), e)
+	if s.budget != nil {
+		s.budget.Record(int64(t), e/s.budgetJ)
+	}
 }
 
 // NewDrainer returns a drainer for the scheme over the system. The initial
@@ -218,6 +296,7 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 	// Wear levelling: rotate the CHV target region per episode.
 	d.region = d.episodes % d.sys.Layout.CHVRegions
 	d.startDC = d.dc
+	d.startSampling()
 
 	reg := d.sys.Metrics
 	drainSpan := reg.StartSpan("drain", 0)
@@ -250,6 +329,14 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 	}
 	drainSpan.EndAt(int64(t))
 	d.sys.Timeline.EndEpisode(t)
+
+	// Final samples at the drain's end instant, over the episode's final
+	// access totals: the energy series' last point is exactly the Table II
+	// number EnergyOf computes from the Result.
+	if d.tsb != nil {
+		d.tsb.sampleEnergy(t, d.sys)
+		d.tsb.drainTime.Record(int64(t), float64(t))
+	}
 
 	d.edc = uint64(len(blocks))
 	d.episodes++
@@ -320,6 +407,7 @@ func (d *Drainer) DrainInPlace(blocks []hierarchy.DirtyBlock) sim.Time {
 	for _, b := range blocks {
 		done := d.sys.NVM.Write(0, b.Addr, b.Data, mem.CatData)
 		t = sim.MaxTime(t, done)
+		d.sampleBlock(t)
 	}
 	return t
 }
@@ -336,6 +424,7 @@ func (d *Drainer) DrainBaseline(blocks []hierarchy.DirtyBlock) (sim.Time, error)
 			return t, fmt.Errorf("core: baseline drain of %#x: %w", b.Addr, err)
 		}
 		t = sim.MaxTime(t, done)
+		d.sampleBlock(t)
 	}
 	return t, nil
 }

@@ -90,6 +90,7 @@ func (d *Drainer) DrainCHV(blocks []hierarchy.DirtyBlock, dlm bool) sim.Time {
 		// Write the ciphertext to its CHV slot (Step 4).
 		done := nvm.Write(tAES, lay.CHVDataAddrR(d.region, slot), ct, mem.CatCHVData)
 		t = sim.MaxTime(t, done)
+		d.sampleBlock(t)
 
 		// Coalesce the address (Step 2).
 		addrReg[i%8] = b.Addr

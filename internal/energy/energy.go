@@ -70,3 +70,55 @@ func Volume(energyJ float64, t Tech) float64 {
 	const joulesPerWh = 3600
 	return energyJ / joulesPerWh / t.DensityWhPerCm3
 }
+
+// BudgetJoules is the inverse of Volume: the hold-up energy budget of a
+// back-up source of volCm3 cubic centimetres. SLO rules use it to turn a
+// provisioned battery volume (Table III) into the joule budget the drain
+// races against.
+func BudgetJoules(volCm3 float64, t Tech) float64 {
+	const joulesPerWh = 3600
+	return volCm3 * joulesPerWh * t.DensityWhPerCm3
+}
+
+// TechByName resolves a technology by its (case-insensitive) name.
+// Recognised: "supercap", "li-thin" (also "lithin"/"li"). Returns false
+// for anything else.
+func TechByName(name string) (Tech, bool) {
+	switch {
+	case equalFold(name, "supercap"):
+		return SuperCap, true
+	case equalFold(name, "li-thin"), equalFold(name, "lithin"), equalFold(name, "li"):
+		return LiThin, true
+	}
+	return Tech{}, false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// DrainDeadline bounds the drain time affordable within budgetJ: the
+// instant at which processor draw alone (ignoring NVM access energy, which
+// only tightens the bound) exhausts the budget. Zero when the budget or
+// power is non-positive.
+func DrainDeadline(p Params, budgetJ float64) sim.Time {
+	if budgetJ <= 0 || p.ProcessorPowerWatts <= 0 {
+		return 0
+	}
+	return sim.Time(budgetJ / p.ProcessorPowerWatts * float64(sim.Second))
+}

@@ -55,3 +55,41 @@ func TestVolumeScalesLinearly(t *testing.T) {
 		t.Error("denser technology must need less volume")
 	}
 }
+
+func TestBudgetJoulesInvertsVolume(t *testing.T) {
+	for _, tech := range []Tech{SuperCap, LiThin} {
+		for _, j := range []float64{0.5, 13.7, 1000} {
+			vol := Volume(j, tech)
+			got := BudgetJoules(vol, tech)
+			if diff := got - j; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s: BudgetJoules(Volume(%v)) = %v", tech.Name, j, got)
+			}
+		}
+	}
+}
+
+func TestTechByName(t *testing.T) {
+	if tech, ok := TechByName("SuperCap"); !ok || tech.Name != SuperCap.Name {
+		t.Fatalf("SuperCap lookup failed: %v %v", tech, ok)
+	}
+	if tech, ok := TechByName("li-thin"); !ok || tech.Name != LiThin.Name {
+		t.Fatalf("li-thin lookup failed: %v %v", tech, ok)
+	}
+	if _, ok := TechByName("plutonium"); ok {
+		t.Fatal("unknown tech resolved")
+	}
+}
+
+func TestDrainDeadline(t *testing.T) {
+	p := DefaultParams() // 100 W
+	// 1 J at 100 W is 10 ms of processor draw.
+	if got, want := DrainDeadline(p, 1.0), 10*sim.Millisecond; got != want {
+		t.Fatalf("deadline = %v, want %v", got, want)
+	}
+	if got := DrainDeadline(p, 0); got != 0 {
+		t.Fatalf("zero budget deadline = %v", got)
+	}
+	if got := DrainDeadline(Params{}, 1); got != 0 {
+		t.Fatalf("zero power deadline = %v", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/sim"
 	"repro/internal/timeline"
 )
@@ -71,6 +72,7 @@ type Controller struct {
 
 	observers []Observer         // access tracers, notified in registration order
 	m         *accessMetrics     // optional per-access instrumentation
+	ts        *tsSeries          // optional windowed time-series sampling
 	fault     FaultInjector      // optional write-fault injection (torture harness)
 	tl        *timeline.Recorder // optional event-timeline recorder
 }
@@ -141,6 +143,32 @@ func (c *Controller) SetMetrics(reg *obs.Registry, labels ...string) {
 	}
 }
 
+// tsSeries caches per-bank time-series handles so the per-access hot path
+// does no sampler lookups: when sampling is off the whole cost is one nil
+// check on c.ts.
+type tsSeries struct {
+	depth []*timeseries.Series // queue depth per bank, indexed by bank
+}
+
+// SetTimeseries attaches a windowed time-series sampler (nil detaches).
+// Every access then records its bank's instantaneous queue depth (wait
+// divided by service latency, the same proxy the depth histogram uses) at
+// the sim time the access reached the bank, giving the live per-bank
+// queue-depth view of a drain. The extra labels are applied to every
+// series.
+func (c *Controller) SetTimeseries(ts *timeseries.Sampler, labels ...string) {
+	if ts == nil {
+		c.ts = nil
+		return
+	}
+	s := &tsSeries{depth: make([]*timeseries.Series, len(c.banks))}
+	for i := range c.banks {
+		s.depth[i] = ts.Gauge("horus_ts_bank_queue_depth",
+			append([]string{"bank", strconv.Itoa(i)}, labels...)...)
+	}
+	c.ts = s
+}
+
 // NewController returns a controller over a fresh store.
 func NewController(cfg Config) *Controller {
 	if cfg.Banks <= 0 {
@@ -203,13 +231,17 @@ func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim
 	if c.tl != nil {
 		c.tl.SetOp("read", string(cat))
 	}
+	bank := c.bankOf(addr)
 	busStart, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
-	bankStart, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.ReadLatency)
+	bankStart, done := c.banks[bank].Acquire(busDone, c.cfg.ReadLatency)
 	if c.m != nil {
 		c.m.counter(c.m.readCtr, "horus_mem_reads_total", cat).Add(1)
 		c.m.busWait.Observe(float64(busStart - ready))
 		c.m.bankWait.Observe(float64(bankStart - busDone))
 		c.m.queueDepth.Observe(float64(bankStart-busDone) / float64(c.cfg.ReadLatency))
+	}
+	if c.ts != nil {
+		c.ts.depth[bank].Record(int64(bankStart), float64(bankStart-busDone)/float64(c.cfg.ReadLatency))
 	}
 	for _, o := range c.observers {
 		o.OnAccess("read", done, addr, string(cat))
@@ -228,13 +260,17 @@ func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) s
 	if c.tl != nil {
 		c.tl.SetOp("write", string(cat))
 	}
+	bank := c.bankOf(addr)
 	busStart, busDone := c.bus.Acquire(ready, c.cfg.BusSlot)
-	bankStart, done := c.banks[c.bankOf(addr)].Acquire(busDone, c.cfg.WriteLatency)
+	bankStart, done := c.banks[bank].Acquire(busDone, c.cfg.WriteLatency)
 	if c.m != nil {
 		c.m.counter(c.m.writeCtr, "horus_mem_writes_total", cat).Add(1)
 		c.m.busWait.Observe(float64(busStart - ready))
 		c.m.bankWait.Observe(float64(bankStart - busDone))
 		c.m.queueDepth.Observe(float64(bankStart-busDone) / float64(c.cfg.WriteLatency))
+	}
+	if c.ts != nil {
+		c.ts.depth[bank].Record(int64(bankStart), float64(bankStart-busDone)/float64(c.cfg.WriteLatency))
 	}
 	for _, o := range c.observers {
 		o.OnAccess("write", done, addr, string(cat))

@@ -204,7 +204,12 @@ func (r *Registry) Merge(other *Registry) {
 	for _, k := range keys {
 		entries = append(entries, other.metrics[k])
 	}
-	spans := append([]*Span(nil), other.roots...)
+	// Deep-copy the span tree: sharing live *Span pointers across
+	// registries would let a late EndAt on other race a scrape of r.
+	spans := make([]*Span, len(other.roots))
+	for i, s := range other.roots {
+		spans[i] = cloneSpan(s, r)
+	}
 	other.mu.Unlock()
 
 	for _, e := range entries {

@@ -1,0 +1,246 @@
+// Package serve is the live monitoring endpoint of the simulator: a tiny
+// stdlib-only HTTP server that exposes the obs registry as a Prometheus
+// scrape target (/metrics), the windowed sim-time series as JSON
+// (/timeseries.json), sweep progress as a Server-Sent-Events stream
+// (/progress), and a /healthz liveness probe. Every CLI mounts it behind
+// the shared -serve flag.
+//
+// The server only reads: registry and sampler snapshots are deep copies
+// taken under their own locks, so scraping during a live sweep cannot
+// perturb simulated results (the determinism suites pin this).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
+)
+
+// ProgressEvent is the wire form of one sweep progress update (mirrors
+// sweep.ProgressEvent without importing it, so serve stays a leaf of the
+// obs layer).
+type ProgressEvent struct {
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+	Index     int     `json:"index"`
+	Label     string  `json:"label"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	EpsPerSec float64 `json:"eps_per_sec"`
+	EtaMs     float64 `json:"eta_ms"`
+}
+
+// Server is the monitoring HTTP server. The zero value is not used;
+// construct with New.
+type Server struct {
+	reg *obs.Registry
+	ts  *timeseries.Sampler
+	hub *hub
+
+	mux *http.ServeMux
+	srv *http.Server
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// New returns a server over the given (possibly nil) registry and
+// sampler. Nil sources serve empty-but-well-formed documents.
+func New(reg *obs.Registry, ts *timeseries.Sampler) *Server {
+	s := &Server{reg: reg, ts: ts, hub: newHub()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/timeseries.json", s.handleTimeseries)
+	mux.HandleFunc("/progress", s.handleProgress)
+	s.mux = mux
+	return s
+}
+
+// Handler exposes the route table (httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "localhost:0", ":9137") and serves in a
+// background goroutine. It returns the bound address, which is the way to
+// learn the port when addr requested :0.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	s.mu.Unlock()
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and disconnects any /progress subscribers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	s.hub.close()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Progress publishes one progress event to every /progress subscriber
+// (and retains it for late subscribers). Safe from any goroutine.
+func (s *Server) Progress(ev ProgressEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	s.hub.publish(data)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, `horus monitoring server
+  /metrics          Prometheus text exposition of the live registry
+  /timeseries.json  windowed sim-time series (energy, queue depth, drain rate)
+  /progress         Server-Sent-Events stream of sweep progress
+  /healthz          liveness probe
+`)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w) // nil registry writes nothing: empty exposition is valid
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.ts.WriteJSON(w)
+}
+
+// handleProgress streams SSE. The retained last event is replayed on
+// subscribe so a scraper that connects after the sweep finished still
+// observes one event.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	ch, last, cancel := s.hub.subscribe()
+	defer cancel()
+	if last != nil {
+		writeSSE(w, last)
+		fl.Flush()
+	} else {
+		// Nothing has happened yet: emit a comment so the client sees
+		// bytes immediately (curl-friendliness, proxy keep-alive).
+		io.WriteString(w, ": waiting for progress\n\n")
+		fl.Flush()
+	}
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			io.WriteString(w, ": heartbeat\n\n")
+			fl.Flush()
+		case data, ok := <-ch:
+			if !ok {
+				return
+			}
+			writeSSE(w, data)
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w io.Writer, data []byte) {
+	fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+}
+
+// hub fans progress events out to SSE subscribers, retaining the newest
+// event for replay to late subscribers.
+type hub struct {
+	mu     sync.Mutex
+	last   []byte
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan []byte]struct{})}
+}
+
+func (h *hub) publish(data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.last = data
+	for ch := range h.subs {
+		select {
+		case ch <- data:
+		default:
+			// Slow subscriber: drop this event rather than block the
+			// sweep's progress callback.
+		}
+	}
+}
+
+func (h *hub) subscribe() (<-chan []byte, []byte, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan []byte, 16)
+	last := h.last
+	if h.closed {
+		close(ch)
+		return ch, last, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	cancel := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[ch]; ok {
+			delete(h.subs, ch)
+			close(ch)
+		}
+	}
+	return ch, last, cancel
+}
+
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
+)
+
+func testServer() (*Server, *obs.Registry, *timeseries.Sampler) {
+	reg := obs.NewRegistry()
+	reg.Counter("horus_drain_blocks_total", "scheme", "Horus-SLM").Add(42)
+	reg.Gauge("horus_sweep_done").Set(3)
+	ts := timeseries.New(100, 0)
+	ts.Gauge("horus_ts_energy_j", "scheme", "Horus-SLM").Record(1000, 13.7)
+	return New(reg, ts), reg, ts
+}
+
+func TestHealthz(t *testing.T) {
+	s, _, _ := testServer()
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK || rr.Body.String() != "ok\n" {
+		t.Fatalf("healthz = %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	s, _, _ := testServer()
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rr.Body.String()
+	for _, want := range []string{
+		"# TYPE horus_drain_blocks_total counter",
+		`horus_drain_blocks_total{scheme="Horus-SLM"} 42`,
+		"horus_sweep_done 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTimeseriesJSON(t *testing.T) {
+	s, _, _ := testServer()
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/timeseries.json", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap timeseries.Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	series := snap.Find("horus_ts_energy_j")
+	if len(series) != 1 || len(series[0].Points) != 1 || series[0].Points[0].V != 13.7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestNilSourcesServeEmptyDocuments(t *testing.T) {
+	s := New(nil, nil)
+	for path, wantBody := range map[string]string{
+		"/metrics":         "",
+		"/timeseries.json": `"series": []`,
+	} {
+		rr := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s status = %d", path, rr.Code)
+		}
+		if wantBody != "" && !strings.Contains(rr.Body.String(), wantBody) {
+			t.Fatalf("%s body = %q", path, rr.Body.String())
+		}
+	}
+}
+
+// TestProgressSSE covers the CI smoke contract: a subscriber receives a
+// streamed event, and a *late* subscriber still receives the retained one.
+func TestProgressSSE(t *testing.T) {
+	s, _, _ := testServer()
+	addr, err := s.Start("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Subscribe first, then publish.
+	resp, err := http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	go func() {
+		// Give the subscriber a beat to register, then publish.
+		time.Sleep(50 * time.Millisecond)
+		s.Progress(ProgressEvent{Done: 7, Total: 15, Label: "llc=8MB/Horus-SLM", EpsPerSec: 1.5})
+	}()
+	ev, err := readSSEEvent(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Done != 7 || ev.Total != 15 || ev.Label != "llc=8MB/Horus-SLM" {
+		t.Fatalf("event = %+v", ev)
+	}
+
+	// Late subscriber: the event already happened; replay must deliver it.
+	resp2, err := http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	ev2, err := readSSEEvent(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Done != 7 {
+		t.Fatalf("late event = %+v", ev2)
+	}
+}
+
+// readSSEEvent scans the stream for the first data: line and decodes it.
+func readSSEEvent(r io.Reader) (ProgressEvent, error) {
+	var ev ProgressEvent
+	sc := bufio.NewScanner(r)
+	deadline := time.Now().Add(5 * time.Second)
+	for sc.Scan() {
+		if time.Now().After(deadline) {
+			break
+		}
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			return ev, json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return ev, err
+	}
+	return ev, io.ErrUnexpectedEOF
+}
+
+func TestIndexAndNotFound(t *testing.T) {
+	s, _, _ := testServer()
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "/metrics") {
+		t.Fatalf("index = %d %q", rr.Code, rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/nope", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", rr.Code)
+	}
+}

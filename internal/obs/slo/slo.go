@@ -1,0 +1,226 @@
+// Package slo evaluates declarative service-level objectives over the
+// windowed time series a drain or torture run records. The paper's core
+// claim is an SLO — "the drain persists everything before the hold-up
+// energy budget is exhausted" (Tables II/III) — and this package turns it,
+// plus the torture suite's "silent corruption is never acceptable", into
+// machine-checkable rules: a CLI evaluates them after (or during) a run,
+// prints a report table naming every violating series, and exits non-zero
+// on violation.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs/timeseries"
+	"repro/internal/report"
+)
+
+// Op is the predicate a rule applies to one series.
+type Op int
+
+const (
+	// FinalAtMost: the newest point's value must be <= Threshold.
+	// Use for cumulative curves (total drain energy vs. budget, drain
+	// time vs. deadline).
+	FinalAtMost Op = iota
+	// MaxAtMost: every point must be <= Threshold (peak bound).
+	MaxAtMost
+	// AlwaysZero: every point must be exactly zero (silent-corruption
+	// counters). Threshold is ignored.
+	AlwaysZero
+)
+
+func (o Op) String() string {
+	switch o {
+	case FinalAtMost:
+		return "final<="
+	case MaxAtMost:
+		return "max<="
+	case AlwaysZero:
+		return "always==0"
+	}
+	return "op?"
+}
+
+// Rule is one declarative objective over every series with a given name.
+type Rule struct {
+	// Name identifies the rule in reports, e.g. "drain-energy-budget".
+	Name string
+	// Series is the time-series name the rule ranges over; the rule is
+	// evaluated once per matching (label set) series.
+	Series string
+	// Op and Threshold form the predicate.
+	Op        Op
+	Threshold float64
+	// RequireData, when true, makes a rule with no matching series a
+	// violation instead of a silent pass (an SLO that never measured
+	// anything has not been met).
+	RequireData bool
+	// Description explains the objective in the report.
+	Description string
+}
+
+// Verdict is the outcome of one rule on one series.
+type Verdict struct {
+	Rule   Rule
+	Labels map[string]string // the violating/checked series' labels
+	// Value is the measured quantity the predicate judged (final or max
+	// value; for AlwaysZero the first non-zero value). NaN when no data.
+	Value float64
+	// TimePs is the sim time of the judged point (-1 when no data).
+	TimePs int64
+	OK     bool
+	// Detail is a human-readable explanation ("no matching series", ...).
+	Detail string
+}
+
+// Report aggregates every verdict of an evaluation.
+type Report struct {
+	Verdicts []Verdict
+}
+
+// Ok reports whether every verdict passed.
+func (r *Report) Ok() bool {
+	for _, v := range r.Verdicts {
+		if !v.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns the failing verdicts, in evaluation order.
+func (r *Report) Violations() []Verdict {
+	var out []Verdict
+	for _, v := range r.Verdicts {
+		if !v.OK {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Evaluate applies each rule to every matching series of the snapshot, in
+// rule order then snapshot series order, so reports are deterministic.
+func Evaluate(rules []Rule, snap timeseries.Snapshot) *Report {
+	rep := &Report{}
+	for _, rule := range rules {
+		matched := snap.Find(rule.Series)
+		if len(matched) == 0 {
+			if rule.RequireData {
+				rep.Verdicts = append(rep.Verdicts, Verdict{
+					Rule: rule, Value: nan(), TimePs: -1, OK: false,
+					Detail: "no matching series recorded",
+				})
+			}
+			continue
+		}
+		for _, sr := range matched {
+			rep.Verdicts = append(rep.Verdicts, judge(rule, sr))
+		}
+	}
+	return rep
+}
+
+func judge(rule Rule, sr timeseries.SeriesSnapshot) Verdict {
+	v := Verdict{Rule: rule, Labels: sr.Labels}
+	switch rule.Op {
+	case FinalAtMost:
+		p, ok := sr.Final()
+		if !ok {
+			return noData(v, rule)
+		}
+		v.Value, v.TimePs = p.V, p.T
+		v.OK = p.V <= rule.Threshold
+	case MaxAtMost:
+		p, ok := sr.Max()
+		if !ok {
+			return noData(v, rule)
+		}
+		v.Value, v.TimePs = p.V, p.T
+		v.OK = p.V <= rule.Threshold
+	case AlwaysZero:
+		v.OK = true
+		v.TimePs = -1
+		for _, p := range sr.Points {
+			if p.V != 0 {
+				v.Value, v.TimePs = p.V, p.T
+				v.OK = false
+				break
+			}
+		}
+	default:
+		v.Detail = "unknown op"
+	}
+	return v
+}
+
+func noData(v Verdict, rule Rule) Verdict {
+	v.Value, v.TimePs = nan(), -1
+	v.OK = !rule.RequireData
+	v.Detail = "series has no points"
+	return v
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// Table renders the report as a report.Table: one row per verdict, the
+// violating (scheme, point) label cells spelled out.
+func (r *Report) Table() *report.Table {
+	t := &report.Table{
+		Title:  "SLO verdicts",
+		Header: []string{"rule", "series", "labels", "op", "threshold", "value", "at", "verdict"},
+	}
+	for _, v := range r.Verdicts {
+		verdict := "ok"
+		if !v.OK {
+			verdict = "VIOLATED"
+			if v.Detail != "" {
+				verdict += " (" + v.Detail + ")"
+			}
+		}
+		at := "-"
+		if v.TimePs >= 0 {
+			at = fmt.Sprintf("%d ps", v.TimePs)
+		}
+		t.Rows = append(t.Rows, []string{
+			v.Rule.Name,
+			v.Rule.Series,
+			labelCell(v.Labels),
+			v.Rule.Op.String(),
+			fmt.Sprintf("%g", v.Rule.Threshold),
+			fmt.Sprintf("%g", v.Value),
+			at,
+			verdict,
+		})
+	}
+	if len(r.Verdicts) == 0 {
+		t.Notes = append(t.Notes, "no rules evaluated")
+	}
+	for _, v := range r.Violations() {
+		t.Notes = append(t.Notes, fmt.Sprintf("VIOLATION: %s on %s — %s",
+			v.Rule.Name, labelCell(v.Labels), v.Rule.Description))
+	}
+	return t
+}
+
+func labelCell(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return strings.Join(parts, ",")
+}

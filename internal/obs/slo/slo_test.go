@@ -1,0 +1,110 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/timeseries"
+)
+
+func sampler() *timeseries.Sampler {
+	s := timeseries.New(100, 0)
+	e1 := s.Gauge("energy_j", "scheme", "Horus-SLM")
+	e1.Record(0, 1)
+	e1.Record(1000, 9)
+	e2 := s.Gauge("energy_j", "scheme", "Base-EU")
+	e2.Record(0, 2)
+	e2.Record(1000, 21)
+	d := s.Gauge("depth", "bank", "0")
+	d.Record(0, 3)
+	d.Record(500, 17)
+	d.Record(1000, 4)
+	c := s.Counter("silent_total", "scheme", "Horus-DLM")
+	c.Record(0, 0)
+	c.Record(900, 2)
+	return s
+}
+
+func TestFinalAtMost(t *testing.T) {
+	rep := Evaluate([]Rule{{
+		Name: "budget", Series: "energy_j", Op: FinalAtMost, Threshold: 10, RequireData: true,
+	}}, sampler().Snapshot())
+	if rep.Ok() {
+		t.Fatal("expected violation: Base-EU final is 21 > 10")
+	}
+	viols := rep.Violations()
+	if len(viols) != 1 {
+		t.Fatalf("violations = %d, want 1", len(viols))
+	}
+	v := viols[0]
+	if v.Labels["scheme"] != "Base-EU" || v.Value != 21 || v.TimePs != 1000 {
+		t.Fatalf("violation = %+v", v)
+	}
+	// The passing scheme still gets a verdict row.
+	if len(rep.Verdicts) != 2 {
+		t.Fatalf("verdicts = %d, want 2", len(rep.Verdicts))
+	}
+}
+
+func TestMaxAtMost(t *testing.T) {
+	rep := Evaluate([]Rule{{
+		Name: "peak-depth", Series: "depth", Op: MaxAtMost, Threshold: 10,
+	}}, sampler().Snapshot())
+	if rep.Ok() {
+		t.Fatal("expected violation: peak depth 17 > 10")
+	}
+	if v := rep.Violations()[0]; v.Value != 17 || v.TimePs != 500 {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestAlwaysZero(t *testing.T) {
+	rep := Evaluate([]Rule{{
+		Name: "no-silent-corruption", Series: "silent_total", Op: AlwaysZero,
+	}}, sampler().Snapshot())
+	if rep.Ok() {
+		t.Fatal("expected violation: silent_total reaches 2")
+	}
+	v := rep.Violations()[0]
+	if v.Value != 2 || v.TimePs != 900 || v.Labels["scheme"] != "Horus-DLM" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestRequireData(t *testing.T) {
+	snap := timeseries.New(0, 0).Snapshot()
+	strict := Evaluate([]Rule{{Name: "r", Series: "missing", Op: FinalAtMost, RequireData: true}}, snap)
+	if strict.Ok() {
+		t.Fatal("RequireData rule with no series must violate")
+	}
+	if !math.IsNaN(strict.Violations()[0].Value) {
+		t.Fatalf("no-data value = %v, want NaN", strict.Violations()[0].Value)
+	}
+	lax := Evaluate([]Rule{{Name: "r", Series: "missing", Op: FinalAtMost}}, snap)
+	if !lax.Ok() {
+		t.Fatal("optional rule with no series must pass")
+	}
+}
+
+func TestTableNamesViolatingCells(t *testing.T) {
+	rep := Evaluate([]Rule{
+		{Name: "budget", Series: "energy_j", Op: FinalAtMost, Threshold: 10,
+			Description: "drain energy must fit the battery budget"},
+		{Name: "no-silent", Series: "silent_total", Op: AlwaysZero,
+			Description: "torture must never accept corrupted data"},
+	}, sampler().Snapshot())
+	out := rep.Table().String()
+	for _, want := range []string{
+		"scheme=Base-EU", "VIOLATED", "scheme=Horus-DLM",
+		"VIOLATION: budget on scheme=Base-EU",
+		"drain energy must fit the battery budget",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "ok") {
+		t.Fatalf("table missing passing verdicts:\n%s", out)
+	}
+}

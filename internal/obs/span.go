@@ -49,12 +49,15 @@ func (r *Registry) RecordSpan(name string, start, end int64) *Span {
 // open are closed at the same instant (spans may not outlive their parent).
 // No-op on a nil or already-closed span.
 func (s *Span) EndAt(at int64) {
-	if s == nil || !s.open {
+	if s == nil || s.reg == nil {
 		return
 	}
 	r := s.reg
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !s.open {
+		return
+	}
 	idx := -1
 	for i := len(r.open) - 1; i >= 0; i-- {
 		if r.open[i] == s {
@@ -96,15 +99,38 @@ func (s *Span) Duration() int64 {
 	return s.End - s.Start
 }
 
-// Spans returns the root spans recorded so far (nil on a nil registry).
-// Open spans are included as-is; their End is the latest child end seen.
+// Spans returns a deep copy of the root spans recorded so far (nil on a
+// nil registry). Open spans are included with their latest state. The copy
+// makes concurrent exporting safe: a live /metrics scrape can walk the
+// tree while an episode is still opening and closing spans.
 func (r *Registry) Spans() []*Span {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]*Span(nil), r.roots...)
+	if len(r.roots) == 0 {
+		return nil
+	}
+	out := make([]*Span, len(r.roots))
+	for i, s := range r.roots {
+		out[i] = cloneSpan(s, nil)
+	}
+	return out
+}
+
+// cloneSpan deep-copies a subtree; callers hold the source registry lock.
+// Clones are detached (no registry, closed), so span methods on them are
+// inert reads.
+func cloneSpan(s *Span, reg *Registry) *Span {
+	c := &Span{Name: s.Name, Start: s.Start, End: s.End, reg: reg}
+	if len(s.Children) > 0 {
+		c.Children = make([]*Span, len(s.Children))
+		for i, ch := range s.Children {
+			c.Children[i] = cloneSpan(ch, reg)
+		}
+	}
+	return c
 }
 
 // WalkSpans visits every span depth-first with its slash-joined path

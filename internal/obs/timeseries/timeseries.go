@@ -1,0 +1,447 @@
+// Package timeseries is the live-telemetry companion to the obs registry:
+// windowed time series over the *simulated* clock (picoseconds), recorded
+// while an episode runs rather than dumped after it ends. A Sampler holds
+// named series keyed exactly like registry metrics (name plus sorted
+// key=value labels); each Series is a bounded bucket list over sim time
+// that coarsens itself (window doubling) instead of dropping data, so a
+// multi-millisecond drain and a microsecond unit test both fit the same
+// fixed footprint with the full time range intact.
+//
+// Determinism contract (mirrors internal/sweep): samplers are per-episode,
+// never shared across workers, and merged post-hoc in episode index order.
+// Recording depends only on the episode's own sim-time stream, and Merge is
+// pure data movement, so a sweep with one worker and with N workers yields
+// byte-identical Snapshot/WriteJSON output.
+//
+// The disabled path is free: a nil *Sampler returns nil series handles and
+// a nil *Series ignores Record, so instrumented hot loops pay one pointer
+// compare when telemetry is off (guarded by
+// BenchmarkTimeseriesDisabledOverhead at the repo root).
+package timeseries
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Defaults for New when the caller passes zero values.
+const (
+	// DefaultWindowPs is the initial bucket width: 1 ns of sim time.
+	// Series coarsen automatically, so a fine initial window costs only
+	// a few doubling passes on long episodes.
+	DefaultWindowPs = 1_000
+	// DefaultCapacity bounds the bucket count per series. 512 points of
+	// 16 bytes keeps a fully instrumented episode (a few dozen series)
+	// well under a megabyte.
+	DefaultCapacity = 512
+)
+
+// Kind tells a series how to fold samples that land in the same window.
+type Kind int
+
+const (
+	// Gauge keeps the last sample per window (instantaneous values:
+	// queue depth, cumulative energy, budget fraction).
+	Gauge Kind = iota
+	// Counter sums the samples per window (event rates: blocks drained,
+	// ops retired).
+	Counter
+)
+
+func (k Kind) String() string {
+	if k == Counter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// Label is one key=value series label.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Point is one windowed sample: T is the window's start on the simulated
+// clock in picoseconds, V the folded value of that window.
+type Point struct {
+	T int64   `json:"t_ps"`
+	V float64 `json:"v"`
+}
+
+// Series is one named, labelled time series. Safe for concurrent use; the
+// zero-cost disabled form is the nil pointer.
+type Series struct {
+	mu     sync.Mutex
+	name   string
+	labels []Label
+	kind   Kind
+	window int64 // current bucket width, ps; grows by doubling
+	cap    int
+	points []Point // bucket starts, strictly increasing
+}
+
+// Record folds one sample at sim time t (picoseconds) into the series.
+// A nil receiver ignores the call, which is the entire disabled path.
+// Samples at or before the newest bucket fold into it (bank-level
+// completion times can finish out of order even though episode time only
+// moves forward), so recorded bucket starts stay strictly increasing.
+func (s *Series) Record(t int64, v float64) {
+	if s == nil {
+		return
+	}
+	if t < 0 {
+		t = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := t - t%s.window
+	if n := len(s.points); n > 0 && w <= s.points[n-1].T {
+		s.fold(&s.points[n-1], v)
+		return
+	}
+	s.points = append(s.points, Point{T: w, V: v})
+	for len(s.points) > s.cap {
+		s.coarsen()
+	}
+}
+
+func (s *Series) fold(p *Point, v float64) {
+	if s.kind == Counter {
+		p.V += v
+	} else {
+		p.V = v
+	}
+}
+
+// coarsen doubles the window and re-buckets in place, halving (or better)
+// the point count while keeping the full time range. Counters sum across
+// merged buckets; gauges keep the later value.
+func (s *Series) coarsen() {
+	s.window *= 2
+	out := s.points[:0]
+	for _, p := range s.points {
+		w := p.T - p.T%s.window
+		if n := len(out); n > 0 && out[n-1].T == w {
+			if s.kind == Counter {
+				out[n-1].V += p.V
+			} else {
+				out[n-1].V = p.V
+			}
+			continue
+		}
+		out = append(out, Point{T: w, V: p.V})
+	}
+	s.points = out
+}
+
+// Sampler is a set of series sharing a window/capacity budget and a base
+// label set. The zero-cost disabled form is the nil pointer.
+type Sampler struct {
+	mu     sync.Mutex
+	window int64
+	cap    int
+	base   []Label
+	order  []string
+	series map[string]*Series
+}
+
+// New returns a sampler whose series start at windowPs-wide buckets
+// (DefaultWindowPs when <= 0) and coarsen past capacity points
+// (DefaultCapacity when <= 0). kv is an alternating key/value list of
+// base labels stamped on every series — the sweep engine uses it to tag
+// each per-episode sampler with its grid point so merged series never
+// collide across episodes.
+func New(windowPs int64, capacity int, kv ...string) *Sampler {
+	if windowPs <= 0 {
+		windowPs = DefaultWindowPs
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Sampler{
+		window: windowPs,
+		cap:    capacity,
+		base:   parseLabels(kv),
+		series: make(map[string]*Series),
+	}
+}
+
+// WindowPs returns the initial bucket width, for deriving per-episode
+// samplers with the same resolution. Nil-safe.
+func (s *Sampler) WindowPs() int64 {
+	if s == nil {
+		return DefaultWindowPs
+	}
+	return s.window
+}
+
+// Capacity returns the per-series point bound. Nil-safe.
+func (s *Sampler) Capacity() int {
+	if s == nil {
+		return DefaultCapacity
+	}
+	return s.cap
+}
+
+// Gauge returns (creating on first use) the last-value-per-window series
+// under name and labels. A nil sampler returns a nil (no-op) series.
+func (s *Sampler) Gauge(name string, kv ...string) *Series {
+	return s.lookup(name, Gauge, kv)
+}
+
+// Counter returns (creating on first use) the sum-per-window series under
+// name and labels. A nil sampler returns a nil (no-op) series.
+func (s *Sampler) Counter(name string, kv ...string) *Series {
+	return s.lookup(name, Counter, kv)
+}
+
+func (s *Sampler) lookup(name string, kind Kind, kv []string) *Series {
+	if s == nil {
+		return nil
+	}
+	labels := mergeLabels(s.base, parseLabels(kv))
+	key := seriesKey(name, labels)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sr, ok := s.series[key]; ok {
+		if sr.kind != kind {
+			panic(fmt.Sprintf("timeseries: %s redeclared as %v (was %v)", key, kind, sr.kind))
+		}
+		return sr
+	}
+	sr := &Series{name: name, labels: labels, kind: kind, window: s.window, cap: s.cap}
+	s.series[key] = sr
+	s.order = append(s.order, key)
+	return sr
+}
+
+// Merge folds every series of other into s, preserving other's
+// registration order. Disjoint keys (the common case: per-episode series
+// carry a distinguishing base label) deep-copy; shared keys append with
+// same-window folding. Call in episode index order for deterministic
+// output. Nil receiver or argument is a no-op.
+func (s *Sampler) Merge(other *Sampler) {
+	if s == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	type frozen struct {
+		key    string
+		name   string
+		labels []Label
+		kind   Kind
+		window int64
+		cap    int
+		points []Point
+	}
+	src := make([]frozen, 0, len(other.order))
+	for _, key := range other.order {
+		sr := other.series[key]
+		sr.mu.Lock()
+		src = append(src, frozen{
+			key:    key,
+			name:   sr.name,
+			labels: append([]Label(nil), sr.labels...),
+			kind:   sr.kind,
+			window: sr.window,
+			cap:    sr.cap,
+			points: append([]Point(nil), sr.points...),
+		})
+		sr.mu.Unlock()
+	}
+	other.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range src {
+		dst, ok := s.series[f.key]
+		if !ok {
+			dst = &Series{name: f.name, labels: f.labels, kind: f.kind, window: f.window, cap: f.cap}
+			dst.points = f.points
+			s.series[f.key] = dst
+			s.order = append(s.order, f.key)
+			continue
+		}
+		dst.mu.Lock()
+		for _, p := range f.points {
+			if n := len(dst.points); n > 0 && p.T <= dst.points[n-1].T {
+				dst.fold(&dst.points[n-1], p.V)
+				continue
+			}
+			dst.points = append(dst.points, p)
+		}
+		for len(dst.points) > dst.cap {
+			dst.coarsen()
+		}
+		dst.mu.Unlock()
+	}
+}
+
+// SeriesSnapshot is the exported state of one series.
+type SeriesSnapshot struct {
+	Name     string            `json:"name"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Kind     string            `json:"kind"`
+	WindowPs int64             `json:"window_ps"`
+	Points   []Point           `json:"points"`
+}
+
+// Final returns the newest point, if any.
+func (s SeriesSnapshot) Final() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
+// Max returns the maximum value over the series, if any.
+func (s SeriesSnapshot) Max() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	best := s.Points[0]
+	for _, p := range s.Points[1:] {
+		if p.V > best.V || math.IsNaN(best.V) {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// Values returns the point values in time order (for sparklines).
+func (s SeriesSnapshot) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Snapshot is the exported state of a whole sampler, in series
+// registration order (merge order for a merged sampler, hence episode
+// index order after a sweep).
+type Snapshot struct {
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Find returns every series named name, in order.
+func (s Snapshot) Find(name string) []SeriesSnapshot {
+	var out []SeriesSnapshot
+	for _, sr := range s.Series {
+		if sr.Name == name {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// Snapshot deep-copies the sampler's state. Safe to call while episodes
+// are still recording (the live /timeseries.json endpoint does). A nil
+// sampler yields an empty snapshot.
+func (s *Sampler) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{Series: []SeriesSnapshot{}}
+	}
+	s.mu.Lock()
+	order := append([]string(nil), s.order...)
+	list := make([]*Series, len(order))
+	for i, key := range order {
+		list[i] = s.series[key]
+	}
+	s.mu.Unlock()
+
+	snap := Snapshot{Series: make([]SeriesSnapshot, 0, len(list))}
+	for _, sr := range list {
+		sr.mu.Lock()
+		ss := SeriesSnapshot{
+			Name:     sr.name,
+			Kind:     sr.kind.String(),
+			WindowPs: sr.window,
+			Points:   append([]Point(nil), sr.points...),
+		}
+		if len(sr.labels) > 0 {
+			ss.Labels = make(map[string]string, len(sr.labels))
+			for _, l := range sr.labels {
+				ss.Labels[l.Key] = l.Value
+			}
+		}
+		sr.mu.Unlock()
+		snap.Series = append(snap.Series, ss)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing newline.
+// Output is deterministic: series in registration/merge order, points in
+// time order, label maps marshalled with sorted keys (encoding/json's
+// map behaviour).
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// parseLabels converts an alternating key/value list into labels.
+func parseLabels(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic("timeseries: odd label key/value list")
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return labels
+}
+
+// mergeLabels joins base and extra labels, sorted by key (later values
+// win on duplicate keys so per-series labels can override sampler base
+// labels).
+func mergeLabels(base, extra []Label) []Label {
+	merged := make([]Label, 0, len(base)+len(extra))
+	merged = append(merged, base...)
+	for _, e := range extra {
+		replaced := false
+		for i := range merged {
+			if merged[i].Key == e.Key {
+				merged[i].Value = e.Value
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged = append(merged, e)
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Key < merged[j].Key })
+	return merged
+}
+
+// seriesKey builds the canonical map key: name{k1=v1,k2=v2} with labels
+// already sorted by mergeLabels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

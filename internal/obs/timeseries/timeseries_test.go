@@ -1,0 +1,246 @@
+package timeseries
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilSamplerIsNoOp(t *testing.T) {
+	var s *Sampler
+	sr := s.Gauge("x", "k", "v")
+	if sr != nil {
+		t.Fatalf("nil sampler returned non-nil series")
+	}
+	sr.Record(10, 1) // must not panic
+	s.Merge(New(0, 0))
+	New(0, 0).Merge(s)
+	snap := s.Snapshot()
+	if len(snap.Series) != 0 {
+		t.Fatalf("nil snapshot has %d series", len(snap.Series))
+	}
+	if s.WindowPs() != DefaultWindowPs || s.Capacity() != DefaultCapacity {
+		t.Fatalf("nil sampler defaults wrong: %d/%d", s.WindowPs(), s.Capacity())
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"series": []`) {
+		t.Fatalf("nil WriteJSON = %q", buf.String())
+	}
+}
+
+func TestNilRecordDoesNotAllocate(t *testing.T) {
+	var sr *Series
+	allocs := testing.AllocsPerRun(100, func() { sr.Record(123456, 1.5) })
+	if allocs != 0 {
+		t.Fatalf("nil Series.Record allocates %v per op", allocs)
+	}
+}
+
+func TestGaugeWindowKeepsLastValue(t *testing.T) {
+	s := New(100, 0)
+	g := s.Gauge("depth")
+	g.Record(10, 1)
+	g.Record(50, 2)  // same window: overwrites
+	g.Record(150, 7) // next window
+	pts := s.Snapshot().Series[0].Points
+	want := []Point{{T: 0, V: 2}, {T: 100, V: 7}}
+	if len(pts) != len(want) {
+		t.Fatalf("got %v want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d: got %v want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCounterWindowSums(t *testing.T) {
+	s := New(100, 0)
+	c := s.Counter("blocks")
+	c.Record(10, 1)
+	c.Record(50, 1)
+	c.Record(199, 3)
+	pts := s.Snapshot().Series[0].Points
+	want := []Point{{T: 0, V: 2}, {T: 100, V: 3}}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d: got %v want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestOutOfOrderFoldsIntoNewestBucket(t *testing.T) {
+	s := New(100, 0)
+	c := s.Counter("evt")
+	c.Record(250, 1)
+	c.Record(120, 1) // earlier than newest bucket start: folds into it
+	pts := s.Snapshot().Series[0].Points
+	if len(pts) != 1 || pts[0] != (Point{T: 200, V: 2}) {
+		t.Fatalf("got %v", pts)
+	}
+}
+
+func TestCoarsenKeepsRangeAndTotals(t *testing.T) {
+	s := New(1, 8)
+	c := s.Counter("evt")
+	g := s.Gauge("level")
+	const n = 1000
+	for i := 0; i < n; i++ {
+		c.Record(int64(i), 1)
+		g.Record(int64(i), float64(i))
+	}
+	snap := s.Snapshot()
+	for _, sr := range snap.Series {
+		if len(sr.Points) > 8 {
+			t.Fatalf("%s: %d points exceeds cap", sr.Name, len(sr.Points))
+		}
+		if sr.WindowPs <= 1 {
+			t.Fatalf("%s: window did not coarsen: %d", sr.Name, sr.WindowPs)
+		}
+		if sr.Points[0].T != 0 {
+			t.Fatalf("%s: lost the start of the range: %v", sr.Name, sr.Points[0])
+		}
+	}
+	var total float64
+	for _, p := range snap.Find("evt")[0].Points {
+		total += p.V
+	}
+	if total != n {
+		t.Fatalf("counter total after coarsening = %v, want %d", total, n)
+	}
+	if final, _ := snap.Find("level")[0].Final(); final.V != n-1 {
+		t.Fatalf("gauge final after coarsening = %v, want %d", final.V, n-1)
+	}
+}
+
+func TestLabelsSortedAndBaseApplied(t *testing.T) {
+	s := New(0, 0, "point", "p0")
+	s.Gauge("m", "scheme", "Horus-SLM", "bank", "3")
+	ss := s.Snapshot().Series[0]
+	if ss.Labels["point"] != "p0" || ss.Labels["scheme"] != "Horus-SLM" || ss.Labels["bank"] != "3" {
+		t.Fatalf("labels = %v", ss.Labels)
+	}
+	// Same labels in a different order must resolve to the same series.
+	a := s.Gauge("m", "bank", "3", "scheme", "Horus-SLM")
+	b := s.Gauge("m", "scheme", "Horus-SLM", "bank", "3")
+	if a != b {
+		t.Fatalf("label order changed series identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on kind mismatch")
+		}
+	}()
+	s := New(0, 0)
+	s.Gauge("m")
+	s.Counter("m")
+}
+
+func TestMergeDeterministicAcrossOrder(t *testing.T) {
+	build := func(point string, seed int64) *Sampler {
+		sm := New(100, 64, "point", point)
+		rng := rand.New(rand.NewSource(seed))
+		c := sm.Counter("blocks")
+		g := sm.Gauge("energy")
+		for i := 0; i < 500; i++ {
+			t := int64(i * 37)
+			c.Record(t, 1)
+			g.Record(t, rng.Float64())
+		}
+		return sm
+	}
+	episodes := []*Sampler{build("a", 1), build("b", 2), build("c", 3)}
+
+	// Merge in index order regardless of completion order: output must
+	// be byte-identical.
+	var runs [][]byte
+	for trial := 0; trial < 2; trial++ {
+		sink := New(100, 64)
+		for _, ep := range episodes {
+			sink.Merge(ep)
+		}
+		var buf bytes.Buffer
+		if err := sink.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, buf.Bytes())
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatalf("merge output not deterministic")
+	}
+	sink := New(100, 64)
+	for _, ep := range episodes {
+		sink.Merge(ep)
+	}
+	snap := sink.Snapshot()
+	if got := len(snap.Find("blocks")); got != 3 {
+		t.Fatalf("want 3 blocks series (one per episode), got %d", got)
+	}
+}
+
+func TestMergeSharedKeyAppends(t *testing.T) {
+	a := New(100, 0)
+	a.Counter("evt").Record(50, 2)
+	b := New(100, 0)
+	b.Counter("evt").Record(250, 3)
+	a.Merge(b)
+	pts := a.Snapshot().Series[0].Points
+	want := []Point{{T: 0, V: 2}, {T: 200, V: 3}}
+	if len(pts) != 2 || pts[0] != want[0] || pts[1] != want[1] {
+		t.Fatalf("got %v want %v", pts, want)
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	s := New(10, 128)
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			sr := s.Counter("evt", "w", string(rune('a'+w)))
+			for i := 0; i < 2000; i++ {
+				sr.Record(int64(i), 1)
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers, like the live /timeseries.json
+	// endpoint does, until they finish.
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Snapshot()
+			var buf bytes.Buffer
+			_ = s.WriteJSON(&buf)
+			s.Merge(New(10, 128))
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+	total := 0.0
+	for _, sr := range s.Snapshot().Series {
+		for _, p := range sr.Points {
+			total += p.V
+		}
+	}
+	if total != 4*2000 {
+		t.Fatalf("lost samples under concurrency: total=%v", total)
+	}
+}

@@ -97,6 +97,11 @@ type Options struct {
 	Filter *regexp.Regexp
 	// Log, when non-nil, receives one progress line per benchmark.
 	Log io.Writer
+	// OnProgress, when non-nil, is called after each benchmark completes
+	// with the finished count, the total matching count, and the
+	// benchmark's name. It feeds the -progress line and the -serve SSE
+	// stream of horus-perfbench.
+	OnProgress func(done, total int, name string)
 }
 
 // DefaultReps is the repetition count when Options.Reps is zero.
@@ -117,10 +122,14 @@ func (s *Suite) Run(opts Options) (*Report, error) {
 		GOARCH:    runtime.GOARCH,
 		Reps:      reps,
 	}
+	var matching []Benchmark
 	for _, b := range s.benches {
 		if opts.Filter != nil && !opts.Filter.MatchString(b.Name) {
 			continue
 		}
+		matching = append(matching, b)
+	}
+	for i, b := range matching {
 		r, err := measure(b, reps)
 		if err != nil {
 			return nil, fmt.Errorf("perfbench: %s: %w", b.Name, err)
@@ -129,6 +138,9 @@ func (s *Suite) Run(opts Options) (*Report, error) {
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "%-40s reps=%d median=%s p10=%s p90=%s allocs/op=%d\n",
 				r.Name, r.Reps, fmtNs(r.MedianNs), fmtNs(r.P10Ns), fmtNs(r.P90Ns), r.AllocsPerOp)
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(i+1, len(matching), b.Name)
 		}
 	}
 	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })

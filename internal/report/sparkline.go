@@ -1,0 +1,87 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block-element levels of an ASCII(-art)
+// sparkline, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block-character chart, scaling
+// linearly between the minimum and maximum value. A flat series renders at
+// the lowest level; NaNs render as spaces; an empty series renders empty.
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			b.WriteByte(' ')
+		case hi == lo:
+			b.WriteRune(sparkRunes[0])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+			b.WriteRune(sparkRunes[idx])
+		}
+	}
+	return b.String()
+}
+
+// Resample reduces (or keeps) vals to at most width points by taking the
+// last value of each equal-width bucket — the right fold for the
+// cumulative curves (energy drawdown) sparklines are used on. Returns vals
+// unchanged when already narrow enough or width is non-positive.
+func Resample(vals []float64, width int) []float64 {
+	if width <= 0 || len(vals) <= width {
+		return vals
+	}
+	out := make([]float64, width)
+	for i := 0; i < width; i++ {
+		// Last index of bucket i under an even split of len(vals).
+		end := (i+1)*len(vals)/width - 1
+		out[i] = vals[end]
+	}
+	return out
+}
+
+// SparklineChart renders a labelled sparkline line:
+//
+//	label  ▁▂▃▄▅▆▇█  min=… max=… final=…
+//
+// vals wider than width are resampled (last value per bucket). format
+// renders the annotation numbers (e.g. Joules); nil falls back to %g.
+func SparklineChart(label string, vals []float64, width int, format func(float64) string) string {
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%g", v) }
+	}
+	if len(vals) == 0 {
+		return fmt.Sprintf("%s  (no samples)", label)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	final := vals[len(vals)-1]
+	return fmt.Sprintf("%s  %s  min=%s max=%s final=%s",
+		label, Sparkline(Resample(vals, width)), format(lo), format(hi), format(final))
+}

@@ -1,0 +1,84 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 7})
+	if got != "▁█" {
+		t.Fatalf("two-point sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{0, math.NaN(), 1}); got != "▁ █" {
+		t.Fatalf("NaN sparkline = %q", got)
+	}
+}
+
+func TestSparklineMonotone(t *testing.T) {
+	vals := make([]float64, 8)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	got := Sparkline(vals)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp sparkline = %q", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := Resample(vals, 10); len(got) != 8 {
+		t.Fatalf("narrow input resampled: %v", got)
+	}
+	got := Resample(vals, 4)
+	want := []float64{2, 4, 6, 8} // last of each pair
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resample = %v, want %v", got, want)
+		}
+	}
+	// Final value always survives resampling (acceptance: the final
+	// energy point is the Table II number).
+	if got[len(got)-1] != vals[len(vals)-1] {
+		t.Fatalf("resample lost the final value")
+	}
+}
+
+func TestSparklineChartNoSamples(t *testing.T) {
+	got := SparklineChart("x", nil, 40, nil)
+	if !strings.Contains(got, "(no samples)") {
+		t.Fatalf("chart = %q", got)
+	}
+}
+
+// Golden tests pin the rendered chart bytes alongside the other
+// testdata/*.golden files.
+func TestGoldenSparklineRamp(t *testing.T) {
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i) * float64(i) * 0.01
+	}
+	var b strings.Builder
+	b.WriteString(SparklineChart("Horus-SLM", vals, 32, Joules) + "\n")
+	b.WriteString(SparklineChart("Base-EU", []float64{1, 1, 1, 1}, 32, Joules) + "\n")
+	b.WriteString(SparklineChart("empty", nil, 32, Joules) + "\n")
+	checkGolden(t, "sparkline_ramp.golden", b.String())
+}
+
+func TestGoldenSparklineDrawdown(t *testing.T) {
+	// A drain-shaped curve: cumulative energy rising to a plateau.
+	var vals []float64
+	for i := 0; i < 48; i++ {
+		vals = append(vals, 13.7*(1-math.Exp(-float64(i)/12)))
+	}
+	checkGolden(t, "sparkline_drawdown.golden",
+		SparklineChart("energy J", vals, 40, Joules)+"\n")
+}

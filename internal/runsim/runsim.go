@@ -23,6 +23,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/secmem"
 	"repro/internal/sim"
 	"repro/internal/timeline"
@@ -120,6 +121,7 @@ type Machine struct {
 	metrics *obs.Registry
 	mLabels []string
 	tl      *timeline.Recorder
+	tsOps   *timeseries.Series // ops retired per sim-time window (nil = off)
 }
 
 // SetMetrics attaches the machine to a metrics registry (nil detaches). The
@@ -135,6 +137,18 @@ func (m *Machine) SetMetrics(reg *obs.Registry, labels ...string) {
 // to, so Run can stamp the run phase onto recorded events (nil detaches).
 func (m *Machine) SetTimeline(rec *timeline.Recorder) {
 	m.tl = rec
+}
+
+// SetTimeseries attaches a windowed time-series sampler (nil detaches):
+// Run then records operations retired per sim-time window under
+// horus_ts_run_ops. The extra labels (e.g. "domain", "EPD") are applied to
+// the series. One pointer check per op when detached.
+func (m *Machine) SetTimeseries(ts *timeseries.Sampler, labels ...string) {
+	if ts == nil {
+		m.tsOps = nil
+		return
+	}
+	m.tsOps = ts.Counter("horus_ts_run_ops", labels...)
 }
 
 // PublishMetrics snapshots the run-time counters into the attached registry
@@ -445,6 +459,9 @@ func (m *Machine) Run(s *workload.Stream) error {
 		}
 		if err != nil {
 			return fmt.Errorf("runsim: op %d (%v %#x): %w", i, op.Kind, op.Addr, err)
+		}
+		if m.tsOps != nil {
+			m.tsOps.Record(int64(m.now), 1)
 		}
 	}
 	return nil

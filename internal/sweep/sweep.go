@@ -72,6 +72,45 @@ type Options struct {
 	// Metrics, when non-nil, receives every episode's registry via Merge,
 	// in episode order, after the sweep completes.
 	Metrics *obs.Registry
+	// Progress, when non-nil, is called once per finished episode (in
+	// completion order, serialized — implementations need no locking).
+	// It runs on worker goroutines between episodes: keep it cheap and
+	// never touch episode state from it. Progress is wall-clock-side
+	// telemetry only; it cannot perturb simulated results.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one finished episode to Options.Progress.
+type ProgressEvent struct {
+	// Done counts finished episodes including this one; Total is the
+	// sweep size, so Done == Total marks the last event.
+	Done, Total int
+	// Index and Label identify the episode that just finished.
+	Index int
+	Label string
+	// Err is the episode's error, if any.
+	Err error
+	// Elapsed is wall-clock time since the sweep started.
+	Elapsed time.Duration
+}
+
+// EpisodesPerSec returns the observed completion rate (0 before any time
+// has elapsed).
+func (e ProgressEvent) EpisodesPerSec() float64 {
+	if e.Elapsed <= 0 {
+		return 0
+	}
+	return float64(e.Done) / e.Elapsed.Seconds()
+}
+
+// ETA estimates the remaining wall-clock time from the observed rate
+// (zero when unknowable).
+func (e ProgressEvent) ETA() time.Duration {
+	rate := e.EpisodesPerSec()
+	if rate <= 0 || e.Done >= e.Total {
+		return 0
+	}
+	return time.Duration(float64(e.Total-e.Done) / rate * float64(time.Second))
 }
 
 // Runner executes episode grids.
@@ -127,6 +166,29 @@ func (r *Runner) Run(ctx context.Context, episodes []Episode) ([]Result, error) 
 		}
 	}()
 
+	// Progress reporting: completion-ordered, serialized under its own
+	// mutex so callbacks never run concurrently with each other.
+	sweepStart := time.Now()
+	var progressMu sync.Mutex
+	completed := 0
+	report := func(res Result) {
+		if r.opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		completed++
+		ev := ProgressEvent{
+			Done:    completed,
+			Total:   len(episodes),
+			Index:   res.Index,
+			Label:   res.Label,
+			Err:     res.Err,
+			Elapsed: time.Since(sweepStart),
+		}
+		r.opts.Progress(ev)
+		progressMu.Unlock()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -135,6 +197,7 @@ func (r *Runner) Run(ctx context.Context, episodes []Episode) ([]Result, error) 
 			for i := range idx {
 				started[i] = true
 				results[i] = r.runOne(ctx, i, episodes[i])
+				report(results[i])
 			}
 		}()
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -209,5 +210,79 @@ func TestSweepNoMetricsSinkSkipsRegistries(t *testing.T) {
 	}
 	if results[0].Metrics.Enabled() {
 		t.Error("result should carry a nil registry when no sink is set")
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	const n = 9
+	episodes := make([]Episode, n)
+	for i := range episodes {
+		i := i
+		episodes[i] = Episode{
+			Label: fmt.Sprintf("ep%d", i),
+			Run:   func(ctx context.Context, env Env) (any, error) { return i, nil },
+		}
+	}
+	var mu sync.Mutex
+	var events []ProgressEvent
+	r := New(Options{
+		Parallel: 4,
+		Progress: func(ev ProgressEvent) {
+			// Serialized by contract: no locking needed for the slice
+			// append itself, but the test reads it later from the main
+			// goroutine, so guard anyway.
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if _, err := r.Run(context.Background(), episodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Fatalf("got %d progress events, want %d", len(events), n)
+	}
+	seen := map[int]bool{}
+	for i, ev := range events {
+		if ev.Done != i+1 {
+			t.Fatalf("event %d: Done=%d, want %d (monotonic completion count)", i, ev.Done, i+1)
+		}
+		if ev.Total != n {
+			t.Fatalf("event %d: Total=%d, want %d", i, ev.Total, n)
+		}
+		if seen[ev.Index] {
+			t.Fatalf("episode %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Err != nil {
+			t.Fatalf("event %d: unexpected error %v", i, ev.Err)
+		}
+	}
+	last := events[n-1]
+	if last.Done != last.Total {
+		t.Fatalf("last event Done=%d Total=%d", last.Done, last.Total)
+	}
+	if last.ETA() != 0 {
+		t.Fatalf("ETA after completion = %v, want 0", last.ETA())
+	}
+}
+
+func TestProgressReportsEpisodeErrors(t *testing.T) {
+	boom := errors.New("boom")
+	episodes := []Episode{
+		{Label: "ok", Run: func(ctx context.Context, env Env) (any, error) { return nil, nil }},
+		{Label: "bad", Run: func(ctx context.Context, env Env) (any, error) { return nil, boom }},
+	}
+	var withErr int
+	r := New(Options{Parallel: 1, Progress: func(ev ProgressEvent) {
+		if ev.Err != nil {
+			withErr++
+		}
+	}})
+	if _, err := r.Run(context.Background(), episodes); err == nil {
+		t.Fatal("expected sweep error")
+	}
+	if withErr != 1 {
+		t.Fatalf("progress events with errors = %d, want 1", withErr)
 	}
 }

@@ -91,7 +91,11 @@ func NewWorkloadSystem(cfg Config, scheme Scheme, domain PersistDomain) *Workloa
 		scfg.Scheme = scheme.RuntimeScheme()
 		sec = secmem.New(scfg, lay, enc, nvm)
 	}
-	cs := &core.System{Layout: lay, Enc: enc, NVM: nvm, Sec: sec, Metrics: cfg.Metrics, Timeline: cfg.Timeline}
+	cs := &core.System{
+		Layout: lay, Enc: enc, NVM: nvm, Sec: sec,
+		Metrics: cfg.Metrics, Timeline: cfg.Timeline,
+		Timeseries: cfg.Timeseries, Energy: cfg.Energy, BatteryJoules: cfg.BatteryJoules,
+	}
 	machine := runsim.New(runsim.Config{
 		Hierarchy: hcfg,
 		Domain:    domain,
@@ -99,12 +103,14 @@ func NewWorkloadSystem(cfg Config, scheme Scheme, domain PersistDomain) *Workloa
 	}, sec, nvm)
 	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String(), "domain", domain.String())
 	nvm.SetTimeline(cfg.Timeline)
+	nvm.SetTimeseries(cfg.Timeseries, "scheme", scheme.String(), "domain", domain.String())
 	if sec != nil {
 		sec.SetMetrics(cfg.Metrics, "scheme", scheme.String(), "domain", domain.String())
 		sec.SetTimeline(cfg.Timeline)
 	}
 	machine.SetMetrics(cfg.Metrics, "domain", domain.String())
 	machine.SetTimeline(cfg.Timeline)
+	machine.SetTimeseries(cfg.Timeseries, "domain", domain.String())
 	return &WorkloadSystem{
 		Config:  cfg,
 		Scheme:  scheme,

@@ -194,7 +194,9 @@ func RunTortureMatrix(ctx context.Context, tc TortureConfig, opts SweepOptions) 
 	}
 	cfg := tc.Config
 	sink := cfg.Metrics
+	tsSink := cfg.Timeseries
 	cfg.Metrics = nil // cells must not share a registry
+	cfg.Timeseries = nil
 	newWorkload := tc.NewWorkload
 	if newWorkload == nil {
 		newWorkload = defaultTortureWorkload
@@ -243,7 +245,7 @@ func RunTortureMatrix(ctx context.Context, tc TortureConfig, opts SweepOptions) 
 		}
 	}
 
-	runner := sweep.New(sweep.Options{Parallel: opts.Parallel, Timeout: opts.Timeout, BaseSeed: cfg.Seed})
+	runner := sweep.New(sweep.Options{Parallel: opts.Parallel, Timeout: opts.Timeout, BaseSeed: cfg.Seed, Progress: opts.Progress})
 	results, err := runner.Run(ctx, episodes)
 	if err != nil {
 		return nil, err
@@ -257,6 +259,22 @@ func RunTortureMatrix(ctx context.Context, tc TortureConfig, opts SweepOptions) 
 		for _, c := range rep.Cells {
 			sink.Counter("horus_torture_cells_total",
 				"scheme", c.Scheme.String(), "flavor", c.Flavor.String(), "outcome", c.Outcome.String()).Add(1)
+		}
+	}
+	if tsSink != nil {
+		// One sample per cell, indexed by crash step: zero for contract-
+		// satisfying outcomes, one for silent corruption. The no-silent-
+		// corruption SLO (TortureSLORules) asserts every sample is zero, and
+		// RequireData means a matrix that recorded nothing also fails.
+		w := tsSink.WindowPs()
+		for _, c := range rep.Cells {
+			s := tsSink.Counter("horus_ts_torture_silent_total",
+				"scheme", c.Scheme.String(), "flavor", c.Flavor.String())
+			v := 0.0
+			if c.Outcome == OutcomeSilentCorruption {
+				v = 1
+			}
+			s.Record(int64(c.Step)*w, v)
 		}
 	}
 	return rep, nil
