@@ -44,6 +44,7 @@ func main() {
 	tf := cliutil.AddTraceFlags()
 	pf := cliutil.AddProfileFlags()
 	tfl := cliutil.AddTelemetryFlags(false)
+	shards := cliutil.AddShardsFlag()
 	flag.Parse()
 	if err := pf.Start(); err != nil {
 		fatal(err)
@@ -56,6 +57,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.FlushShuffle = *shuffle
+	cfg.Shards = *shards
 	if *llcMB > 0 {
 		cfg.LLCBytes = *llcMB << 20
 	}

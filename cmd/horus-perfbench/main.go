@@ -38,10 +38,11 @@ func main() {
 		list     = flag.Bool("list", false, "list benchmark names and exit")
 	)
 	tfl := cliutil.AddTelemetryFlags(true)
+	shards := cliutil.AddShardsFlag()
 	flag.Parse()
 
 	var suite perfbench.Suite
-	horus.RegisterPerfBenchmarks(&suite)
+	horus.RegisterPerfBenchmarks(&suite, func(c *horus.Config) { c.Shards = *shards })
 
 	if *list {
 		for _, name := range suite.Names() {

@@ -31,6 +31,7 @@ func main() {
 	mf := cliutil.AddMetricsFlags()
 	pf := cliutil.AddProfileFlags()
 	tfl := cliutil.AddTelemetryFlags(false)
+	shards := cliutil.AddShardsFlag()
 	flag.Parse()
 	if err := pf.Start(); err != nil {
 		fatal(err)
@@ -42,6 +43,7 @@ func main() {
 		cfg = horus.DefaultConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
 	cfg.Timeseries = tfl.Sampler()
 	if err := tfl.StartServer(cfg.Metrics); err != nil {

@@ -190,6 +190,13 @@ type Config struct {
 	// BatteryBudgetJoules). It enables the horus_ts_energy_budget_frac
 	// series and the drain SLO rules.
 	BatteryJoules float64
+	// Shards is the drain pipeline's crypto fan-out width: shard-owned
+	// engine clones precompute OTPs and MACs over per-bank work lists
+	// while the timed state machine replays serially, so results, traces
+	// and time series are byte-identical at any value (DESIGN.md §13).
+	// Zero or negative selects GOMAXPROCS; 1 forces the inline serial
+	// path. Exposed on every CLI as -shards.
+	Shards int
 }
 
 // DefaultConfig returns the paper's Table I configuration at full scale:
@@ -278,6 +285,7 @@ func NewSystem(cfg Config, scheme Scheme) *System {
 		Layout: lay, Enc: enc, NVM: nvm, Sec: sec,
 		Metrics: cfg.Metrics, Timeline: cfg.Timeline,
 		Timeseries: cfg.Timeseries, Energy: cfg.Energy, BatteryJoules: cfg.BatteryJoules,
+		Shards: cfg.Shards,
 	}
 	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String())
 	sec.SetMetrics(cfg.Metrics, "scheme", scheme.String())

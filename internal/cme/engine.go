@@ -18,9 +18,11 @@ type MAC [MACSize]byte
 // and MAC computation. One engine corresponds to one processor's secure
 // memory unit; keys never leave the trusted compute base.
 //
-// An Engine is not safe for concurrent use: OTP reuses per-engine scratch
-// buffers (see below). The simulator is single-threaded per system, and
-// parallel sweeps build one engine per episode, so this never shares.
+// An Engine is a shard-owned context: OTP reuses per-engine scratch buffers
+// (see below), so one Engine must only ever be driven from one goroutine at
+// a time. Concurrency uses Clone — same keys, fresh scratch — one clone per
+// shard; the sharded drain pipeline (core.Drainer) and the -race hammer test
+// in shard_test.go enforce this contract rather than prose alone.
 type Engine struct {
 	block  cipher.Block
 	macKey [32]byte

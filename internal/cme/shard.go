@@ -1,0 +1,52 @@
+package cme
+
+// Shard-owned engine contexts.
+//
+// The simulator's timed state machine stays on one goroutine, but the drain
+// pipeline fans the *functional* crypto — OTP generation and MAC hashing,
+// whose outputs are position-addressed and order-free — out over several
+// engine contexts. The contract is ownership, not locking: every goroutine
+// computes through its own clone, and the clones share only the immutable
+// key material. cmd/ drains build one clone per shard (core.Drainer), and
+// the -race hammer test in shard_test.go enforces the contract.
+
+// Clone returns a shard-owned copy of the engine: same AES and MAC keys,
+// fresh scratch buffers. The underlying cipher.Block is stateless after key
+// expansion, so clones may encrypt concurrently; the per-engine OTP scratch
+// (otpPad/otpPT) is what makes a single Engine single-goroutine, and each
+// clone carries its own.
+func (e *Engine) Clone() *Engine {
+	return &Engine{block: e.block, macKey: e.macKey}
+}
+
+// SealRun encrypts and MACs a run of blocks in one batched call: for each i,
+// cts[i] = Encrypt(addrs[i], ctrs[i], plains[i]) and macs[i] =
+// DataMAC(addrs[i], ctrs[i], cts[i]). A nil macs skips the MAC pass. The
+// outputs are byte-identical to per-block Encrypt/DataMAC calls; batching
+// exists so a shard amortises call overhead over its whole block run.
+func (e *Engine) SealRun(addrs, ctrs []uint64, plains, cts [][64]byte, macs []MAC) {
+	if len(ctrs) != len(addrs) || len(plains) != len(addrs) || len(cts) != len(addrs) {
+		panic("cme: SealRun slice lengths differ")
+	}
+	if macs != nil && len(macs) != len(addrs) {
+		panic("cme: SealRun mac slice length differs")
+	}
+	for i := range addrs {
+		cts[i] = e.Encrypt(addrs[i], ctrs[i], plains[i])
+		if macs != nil {
+			macs[i] = e.DataMAC(addrs[i], ctrs[i], cts[i])
+		}
+	}
+}
+
+// NodeMACRun computes the NodeMACs of a run of same-level tree nodes with
+// consecutive indices start, start+1, ...: out[i] = NodeMAC(level, start+i,
+// content[i]). Used to fan the metadata-vault leaf MACs out across shards.
+func (e *Engine) NodeMACRun(level int, start uint64, content [][64]byte, out []MAC) {
+	if len(out) != len(content) {
+		panic("cme: NodeMACRun slice lengths differ")
+	}
+	for i := range content {
+		out[i] = e.NodeMAC(level, start+uint64(i), content[i])
+	}
+}

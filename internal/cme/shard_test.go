@@ -1,0 +1,158 @@
+package cme
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestCloneMatchesParent pins that a clone is the same cryptographic engine:
+// identical pads and MACs for identical inputs, against both the parent and
+// the independent CTR/streaming-SHA256 references.
+func TestCloneMatchesParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 16; trial++ {
+		parent := NewEngine(rng.Uint64())
+		clone := parent.Clone()
+		for i := 0; i < 32; i++ {
+			addr, counter := rng.Uint64()&^63, rng.Uint64()
+			var pt [64]byte
+			rng.Read(pt[:])
+			if clone.OTP(addr, counter) != refPad(parent.block, addr, counter) {
+				t.Fatalf("clone OTP diverges from CTR reference at (%#x, %d)", addr, counter)
+			}
+			ct := parent.Encrypt(addr, counter, pt)
+			if clone.Encrypt(addr, counter, pt) != ct {
+				t.Fatalf("clone Encrypt diverges from parent at (%#x, %d)", addr, counter)
+			}
+			if clone.DataMAC(addr, counter, ct) != refKeyedHash(parent.macKey, []uint64{addr, counter}, ct[:]) {
+				t.Fatalf("clone DataMAC diverges from streaming reference at (%#x, %d)", addr, counter)
+			}
+		}
+	}
+}
+
+// TestCloneScratchIsIndependent pins the point of Clone: interleaving calls
+// on the parent must not clobber a clone's in-flight results (they would if
+// the OTP scratch were shared).
+func TestCloneScratchIsIndependent(t *testing.T) {
+	parent := NewEngine(7)
+	clone := parent.Clone()
+	want := parent.OTP(64, 3)
+	got := clone.OTP(64, 3)
+	_ = parent.OTP(128, 9) // clobber parent scratch
+	if got != want {
+		t.Fatal("clone OTP result changed after a parent call: scratch is shared")
+	}
+}
+
+// TestSealRunMatchesSerial verifies the batched shard API against per-block
+// Encrypt/DataMAC calls (which are themselves pinned to the CTR and
+// streaming-SHA256 oracles by the differential tests).
+func TestSealRunMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	e := NewEngine(11)
+	for _, n := range []int{0, 1, 7, 64, 257} {
+		addrs := make([]uint64, n)
+		ctrs := make([]uint64, n)
+		plains := make([][64]byte, n)
+		cts := make([][64]byte, n)
+		macs := make([]MAC, n)
+		for i := 0; i < n; i++ {
+			addrs[i] = rng.Uint64() &^ 63
+			ctrs[i] = rng.Uint64()
+			rng.Read(plains[i][:])
+		}
+		e.SealRun(addrs, ctrs, plains, cts, macs)
+		for i := 0; i < n; i++ {
+			wantCT := e.Encrypt(addrs[i], ctrs[i], plains[i])
+			if cts[i] != wantCT {
+				t.Fatalf("n=%d: SealRun ct[%d] diverges from Encrypt", n, i)
+			}
+			if macs[i] != e.DataMAC(addrs[i], ctrs[i], wantCT) {
+				t.Fatalf("n=%d: SealRun mac[%d] diverges from DataMAC", n, i)
+			}
+		}
+		// macs == nil skips the MAC pass but must produce the same ciphertext.
+		cts2 := make([][64]byte, n)
+		e.SealRun(addrs, ctrs, plains, cts2, nil)
+		for i := 0; i < n; i++ {
+			if cts2[i] != cts[i] {
+				t.Fatalf("n=%d: SealRun without MACs changed ct[%d]", n, i)
+			}
+		}
+	}
+}
+
+// TestNodeMACRunMatchesSerial verifies the batched leaf-MAC API against
+// per-node NodeMAC calls.
+func TestNodeMACRunMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	e := NewEngine(13)
+	content := make([][64]byte, 33)
+	for i := range content {
+		rng.Read(content[i][:])
+	}
+	out := make([]MAC, len(content))
+	const level, start = 20, uint64(1) << 20
+	e.NodeMACRun(level, start, content, out)
+	for i := range content {
+		if out[i] != e.NodeMAC(level, start+uint64(i), content[i]) {
+			t.Fatalf("NodeMACRun out[%d] diverges from NodeMAC", i)
+		}
+	}
+}
+
+// TestShardEngineHammerRace is the enforced concurrency contract of the
+// shard-owned engine (run under -race in CI): N clones of one engine seal
+// the same block run concurrently — repeatedly, to interleave their scratch
+// usage — and every shard's ciphertexts and MACs must be byte-identical to
+// the serial parent path. A shared scratch buffer or any hidden mutable
+// state would fail the race detector and the byte comparison.
+func TestShardEngineHammerRace(t *testing.T) {
+	const shards = 8
+	const blocks = 512
+	const rounds = 16
+
+	parent := NewEngine(99)
+	rng := rand.New(rand.NewSource(99))
+	addrs := make([]uint64, blocks)
+	ctrs := make([]uint64, blocks)
+	plains := make([][64]byte, blocks)
+	for i := 0; i < blocks; i++ {
+		addrs[i] = uint64(i) * 64
+		ctrs[i] = rng.Uint64() % 1024
+		rng.Read(plains[i][:])
+	}
+
+	// Serial oracle through the parent engine.
+	wantCT := make([][64]byte, blocks)
+	wantMAC := make([]MAC, blocks)
+	parent.SealRun(addrs, ctrs, plains, wantCT, wantMAC)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, shards)
+	for s := 0; s < shards; s++ {
+		eng := parent.Clone()
+		wg.Add(1)
+		go func(s int, eng *Engine) {
+			defer wg.Done()
+			cts := make([][64]byte, blocks)
+			macs := make([]MAC, blocks)
+			for r := 0; r < rounds; r++ {
+				eng.SealRun(addrs, ctrs, plains, cts, macs)
+				for i := 0; i < blocks; i++ {
+					if cts[i] != wantCT[i] || macs[i] != wantMAC[i] {
+						errs <- "shard output diverges from serial path"
+						return
+					}
+				}
+			}
+		}(s, eng)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -64,12 +64,6 @@ type Controller struct {
 	reads  *sim.CounterSet
 	writes *sim.CounterSet
 
-	// wear counts lifetime writes per block for endurance analysis; unlike
-	// the traffic counters it is never reset (cell wear is permanent). It
-	// shares the open-addressed table of the block store: the increment sits
-	// on the per-write hot path.
-	wear addrMap[int64]
-
 	observers []Observer         // access tracers, notified in registration order
 	m         *accessMetrics     // optional per-access instrumentation
 	ts        *tsSeries          // optional windowed time-series sampling
@@ -176,7 +170,7 @@ func NewController(cfg Config) *Controller {
 	}
 	c := &Controller{
 		cfg:    cfg,
-		store:  NewStore(),
+		store:  NewShardedStore(cfg.Banks),
 		bus:    sim.NewResource("membus"),
 		reads:  sim.NewCounterSet(),
 		writes: sim.NewCounterSet(),
@@ -205,24 +199,36 @@ func (c *Controller) SetTimeline(rec *timeline.Recorder) {
 // Store exposes the functional backing store (for tests and recovery).
 func (c *Controller) Store() *Store { return c.store }
 
-// Reserve pre-sizes the backing store and the wear table for an expected
-// footprint of n populated blocks (see Store.Reserve).
+// Reserve pre-sizes the backing store (fused block content + wear entries)
+// for an expected footprint of n populated blocks (see Store.Reserve).
 func (c *Controller) Reserve(n int) {
 	c.store.Reserve(n)
-	c.wear.reserve(n)
 }
 
 // Config returns the controller's configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
-// bankOf interleaves blocks across banks, folding higher address bits so
+// BankOf interleaves blocks across banks, folding higher address bits so
 // that large power-of-two strides still spread across banks (the paper's
-// worst-case fill uses a 16 KB stride).
-func (c *Controller) bankOf(addr uint64) int {
+// worst-case fill uses a 16 KB stride). It is exported because the sharded
+// drain pipeline partitions work lists by bank with the same fold: a shard
+// that owns bank i owns exactly the blocks BankOf maps to i.
+func BankOf(addr uint64, banks int) int {
 	bn := addr / BlockSize
 	h := bn ^ (bn >> 4) ^ (bn >> 9) ^ (bn >> 15) ^ (bn >> 22)
-	return int(h % uint64(len(c.banks)))
+	return int(h % uint64(banks))
 }
+
+// bankOf applies BankOf with the controller's bank count.
+func (c *Controller) bankOf(addr uint64) int {
+	return BankOf(addr, len(c.banks))
+}
+
+// BankOf exposes the controller's bank interleaving for work partitioning.
+func (c *Controller) BankOf(addr uint64) int { return c.bankOf(addr) }
+
+// Banks returns the number of independent banks.
+func (c *Controller) Banks() int { return len(c.banks) }
 
 // Read performs a timed, counted read of the block at addr. The access
 // begins no earlier than ready; the returned time is when data is available.
@@ -256,7 +262,11 @@ func (c *Controller) Read(ready sim.Time, addr uint64, cat Category) (Block, sim
 // faulted view — possibly torn, bit-flipped, or not committed at all.
 func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) sim.Time {
 	c.writes.Add(string(cat), 1)
-	*c.wear.ref(addr)++
+	// One probe serves the whole access: the fused entry carries the wear
+	// count and the content slot. Nothing below inserts into the store (the
+	// observers and metrics only read), so the pointer stays valid.
+	e := c.store.entry(addr)
+	e.wear++
 	if c.tl != nil {
 		c.tl.SetOp("write", string(cat))
 	}
@@ -277,14 +287,14 @@ func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) s
 	}
 	if c.fault != nil {
 		if f := c.fault.OnWrite(addr, cat); f.Kind != FaultNone {
-			nb, commit := applyFault(f, c.store.ReadBlock(addr), b)
+			nb, commit := applyFault(f, e.b, b)
 			if commit {
-				c.store.WriteBlock(addr, nb)
+				e.b = nb
 			}
 			return done
 		}
 	}
-	c.store.WriteBlock(addr, b)
+	e.b = b
 	return done
 }
 
@@ -304,26 +314,25 @@ type WearStats struct {
 // is never reset by ResetStats — cell wear is permanent).
 func (c *Controller) WearStats() WearStats {
 	var ws WearStats
-	c.wear.each(func(addr uint64, n int64) {
+	c.store.eachWear(func(addr uint64, n int64) {
 		if n > ws.MaxWrites || (n == ws.MaxWrites && addr < ws.HotAddr) {
 			ws.MaxWrites, ws.HotAddr = n, addr
 		}
 		ws.TotalWrites += n
+		ws.UniqueBlocks++
 	})
-	ws.UniqueBlocks = c.wear.len()
 	return ws
 }
 
 // WearOf returns the lifetime write count of one block.
 func (c *Controller) WearOf(addr uint64) int64 {
-	n, _ := c.wear.get(addr)
-	return n
+	return c.store.wearOf(addr)
 }
 
 // WearInRange returns the maximum and total lifetime writes within
 // [lo, hi), e.g. over the CHV region.
 func (c *Controller) WearInRange(lo, hi uint64) (max, total int64) {
-	c.wear.each(func(addr uint64, n int64) {
+	c.store.eachWear(func(addr uint64, n int64) {
 		if addr >= lo && addr < hi {
 			total += n
 			if n > max {

@@ -174,3 +174,25 @@ func TestCompareStatuses(t *testing.T) {
 		t.Error("self-comparison reported a failure")
 	}
 }
+
+// TestCompareOneSidedNeverFails pins the promise the status values exist
+// for: a benchmark present on only one side — newly added, or retired —
+// is reported (StatusNew / StatusMissing) but can never fail the gate, so
+// adding or removing benchmarks does not require regenerating the baseline
+// in the same change.
+func TestCompareOneSidedNeverFails(t *testing.T) {
+	base := mkReport(Result{Name: "retired", MedianNs: 1000, AllocsPerOp: 10})
+	cur := mkReport(Result{Name: "added", MedianNs: 999_999, AllocsPerOp: 99})
+	deltas := Compare(base, cur, 0.10, 0.30)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	for _, d := range deltas {
+		if d.Status != StatusNew && d.Status != StatusMissing {
+			t.Errorf("%s: status %q, want one-sided", d.Name, d.Status)
+		}
+	}
+	if AnyFail(deltas) {
+		t.Error("one-sided rows failed the comparison")
+	}
+}

@@ -1,0 +1,123 @@
+package secmem
+
+import (
+	"repro/internal/cme"
+	"repro/internal/hierarchy"
+	"repro/internal/mem"
+	"repro/internal/shard"
+)
+
+// Drain hints: the baseline drains' half of the sharded pipeline
+// (DESIGN.md §13).
+//
+// The baseline secure drain pushes every dirty line through WriteBlock,
+// whose crypto depends on the block's post-increment counter — state the
+// write path itself computes. To fan that crypto out ahead of the serial
+// replay, PrecomputeDrainHints speculates each counter with a cheap serial
+// pre-pass over the *logical* metadata state (the same state WriteBlock
+// reads: dirty-line table first, NVM content otherwise), tracking pending
+// increments per counter block so the i-th drained write sees the counter
+// it will actually produce. The shard engines then seal every block —
+// OTP + encrypt + data MAC — in parallel.
+//
+// Consumption is verified: WriteBlock takes the next hint only when its
+// address matches the write and its speculated counter equals the counter
+// the timed path just computed. A mis-speculation (possible in principle if
+// an injected fault corrupts a persisted counter block that is later
+// re-fetched mid-drain) therefore costs one wasted hint and an inline
+// recompute — it can never change a byte of output. The timed operations
+// (engine issue slots, bank reservations) are identical with or without a
+// hint, so timing, counters and traces are byte-identical at any shard
+// count.
+
+// DrainHint is the precomputed seal of one anticipated baseline drain
+// write: the speculated post-increment counter and the ciphertext and data
+// MAC derived from it.
+type DrainHint struct {
+	Addr    uint64
+	Counter uint64
+	CT      mem.Block
+	MAC     cme.MAC
+}
+
+// PrecomputeDrainHints speculates the post-increment counter of every block
+// in drain order and seals the blocks across the given shard-owned engines.
+// The returned slice is positional: hint i belongs to the i-th WriteBlock
+// of the drain.
+func (c *Controller) PrecomputeDrainHints(blocks []hierarchy.DirtyBlock, engines []*cme.Engine) []DrainHint {
+	hints := make([]DrainHint, len(blocks))
+	pending := make(map[uint64]*cme.CounterBlock)
+	for i := range blocks {
+		addr := blocks[i].Addr
+		ctrAddr := c.lay.CounterBlockAddr(addr)
+		cb := pending[ctrAddr]
+		if cb == nil {
+			decoded := cme.DecodeCounterBlock(c.logicalRead(ctrAddr))
+			cb = &decoded
+			pending[ctrAddr] = cb
+		}
+		// Mirror WriteBlock's increment exactly, overflow re-basing
+		// included: the pending copy evolves the way the dirty-line table
+		// will once the replay reaches this write.
+		slot := cme.CounterIndex(addr)
+		cb.Increment(slot)
+		hints[i] = DrainHint{Addr: addr, Counter: cb.Counter(slot)}
+	}
+	workers := len(engines)
+	shard.Run(workers, func(w int) {
+		lo, hi := shard.Cut(len(blocks), workers, w)
+		eng := engines[w]
+		for i := lo; i < hi; i++ {
+			h := &hints[i]
+			h.CT = eng.Encrypt(h.Addr, h.Counter, blocks[i].Data)
+			h.MAC = eng.DataMAC(h.Addr, h.Counter, h.CT)
+		}
+	})
+	return hints
+}
+
+// SetDrainHints installs a positional hint stream for the drain about to
+// replay; the cursor starts at the first hint and the consumption stats
+// reset.
+func (c *Controller) SetDrainHints(hints []DrainHint) {
+	c.drainHints = hints
+	c.drainHintNext = 0
+	c.drainHintsUsed = 0
+	c.drainHintsRejected = 0
+}
+
+// ClearDrainHints removes any installed hint stream (run-time writes after
+// the drain must never consume drain hints).
+func (c *Controller) ClearDrainHints() {
+	c.drainHints = nil
+	c.drainHintNext = 0
+}
+
+// takeDrainHint returns the next hint if it matches this write's address
+// and actually-computed counter. An address mismatch leaves the cursor in
+// place (the stream is out of sync; stop consuming); a counter mismatch
+// consumes the hint but rejects it, forcing the inline recompute.
+func (c *Controller) takeDrainHint(addr, counter uint64) *DrainHint {
+	if c.drainHintNext >= len(c.drainHints) {
+		return nil
+	}
+	h := &c.drainHints[c.drainHintNext]
+	if h.Addr != addr {
+		return nil
+	}
+	c.drainHintNext++
+	if h.Counter != counter {
+		c.drainHintsRejected++
+		return nil
+	}
+	c.drainHintsUsed++
+	return h
+}
+
+// DrainHintStats reports how the last installed hint stream fared: hints
+// whose speculated counter matched the replay (used) and hints consumed but
+// rejected by the counter check. used+rejected < len(hints) means the
+// stream desynchronised and consumption stopped early.
+func (c *Controller) DrainHintStats() (used, rejected int64) {
+	return c.drainHintsUsed, c.drainHintsRejected
+}

@@ -1,0 +1,63 @@
+// Package shard provides the fan-out primitives of the sharded drain
+// pipeline: a bounded worker pool and deterministic index partitioning.
+//
+// The pipeline's determinism argument does not rest on this package — every
+// value a worker produces is slot-addressed (written to a caller-owned index
+// of a pre-sized slice), so results are identical no matter which worker
+// computes them or in what order workers finish. Run only bounds concurrency
+// and joins.
+package shard
+
+import "sync"
+
+// Run executes fn(w) for every w in [0, workers) and returns when all calls
+// have finished. Worker 0 runs on the calling goroutine, so Run(1, fn) is an
+// inline call with no goroutine or synchronisation cost.
+func Run(workers int, fn func(worker int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Cut returns worker w's half-open index range [lo, hi) of an n-item work
+// list split as evenly as possible across workers (the first n%workers
+// ranges are one longer). Ranges tile [0, n) exactly and depend only on
+// (n, workers, w).
+func Cut(n, workers, w int) (lo, hi int) {
+	if workers <= 1 {
+		return 0, n
+	}
+	size, rem := n/workers, n%workers
+	lo = w*size + min(w, rem)
+	hi = lo + size
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// CutAligned is Cut with every boundary (except the final hi = n) rounded
+// down to a multiple of align, so units of align items are never split
+// across workers. Callers whose work has intra-group dependencies (e.g. the
+// DLM second-level MAC over each group of eight first-level MACs) use this
+// to keep whole groups inside one worker's range.
+func CutAligned(n, workers, w, align int) (lo, hi int) {
+	if workers <= 1 || align <= 1 {
+		return Cut(n, workers, w)
+	}
+	groups := (n + align - 1) / align
+	glo, ghi := Cut(groups, workers, w)
+	lo, hi = min(glo*align, n), min(ghi*align, n)
+	return lo, hi
+}

@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestCutTilesExactly pins that Cut partitions [0, n) into disjoint ranges
+// that cover every index exactly once, for awkward n/worker combinations.
+func TestCutTilesExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 63, 64, 65, 1000} {
+		for _, workers := range []int{1, 2, 3, 8, 16, 100} {
+			seen := make([]int, n)
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := Cut(n, workers, w)
+				if lo != prevHi {
+					t.Fatalf("n=%d workers=%d w=%d: lo=%d, want contiguous %d", n, workers, w, lo, prevHi)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d: ranges end at %d, want %d", n, workers, prevHi, n)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: index %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCutAlignedBoundaries pins the alignment guarantee: no boundary except
+// the final one splits an align-sized group.
+func TestCutAlignedBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 8, 57, 64, 257, 1000} {
+		for _, workers := range []int{1, 2, 3, 8, 16} {
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := CutAligned(n, workers, w, 8)
+				if lo != prevHi {
+					t.Fatalf("n=%d workers=%d w=%d: lo=%d, want %d", n, workers, w, lo, prevHi)
+				}
+				if lo%8 != 0 && lo != n {
+					t.Fatalf("n=%d workers=%d w=%d: lo=%d not 8-aligned", n, workers, w, lo)
+				}
+				if hi%8 != 0 && hi != n {
+					t.Fatalf("n=%d workers=%d w=%d: hi=%d neither 8-aligned nor n", n, workers, w, hi)
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d: ranges end at %d, want %d", n, workers, prevHi, n)
+			}
+		}
+	}
+}
+
+// TestRunCoversAllWorkers pins that Run invokes every worker exactly once
+// and joins before returning.
+func TestRunCoversAllWorkers(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		var calls int64
+		hit := make([]int64, workers)
+		Run(workers, func(w int) {
+			atomic.AddInt64(&calls, 1)
+			atomic.AddInt64(&hit[w], 1)
+		})
+		if calls != int64(workers) {
+			t.Fatalf("workers=%d: %d calls", workers, calls)
+		}
+		for w, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: worker %d called %d times", workers, w, h)
+			}
+		}
+	}
+}

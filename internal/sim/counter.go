@@ -10,31 +10,54 @@ import (
 // for the per-category breakdowns in the paper's figures (memory writes by
 // type, MAC calculations by purpose). Categories appear in the order they
 // are first incremented, which keeps reports stable for a deterministic run.
+//
+// Add is on the simulator's per-memory-access hot path, so values live in a
+// slice indexed by a name→index map rather than directly in a string-keyed
+// map, and the last-hit index is cached: runs of accesses in the same
+// category (the common case in a drain loop, where the name is a constant
+// string compared pointer-first) skip the hash entirely.
 type CounterSet struct {
-	order  []string
-	counts map[string]int64
+	order []string
+	vals  []int64
+	index map[string]int
+	last  string // name of the most recently added category
+	lasti int    // its index in vals
 }
 
 // NewCounterSet returns an empty counter set.
 func NewCounterSet() *CounterSet {
-	return &CounterSet{counts: make(map[string]int64)}
+	return &CounterSet{index: make(map[string]int), lasti: -1}
 }
 
 // Add increments the named counter by n, creating it if needed.
 func (cs *CounterSet) Add(name string, n int64) {
-	if _, ok := cs.counts[name]; !ok {
-		cs.order = append(cs.order, name)
+	if cs.lasti >= 0 && name == cs.last {
+		cs.vals[cs.lasti] += n
+		return
 	}
-	cs.counts[name] += n
+	i, ok := cs.index[name]
+	if !ok {
+		i = len(cs.vals)
+		cs.index[name] = i
+		cs.order = append(cs.order, name)
+		cs.vals = append(cs.vals, 0)
+	}
+	cs.vals[i] += n
+	cs.last, cs.lasti = name, i
 }
 
 // Get returns the value of the named counter (zero if absent).
-func (cs *CounterSet) Get(name string) int64 { return cs.counts[name] }
+func (cs *CounterSet) Get(name string) int64 {
+	if i, ok := cs.index[name]; ok {
+		return cs.vals[i]
+	}
+	return 0
+}
 
 // Total returns the sum of all counters.
 func (cs *CounterSet) Total() int64 {
 	var t int64
-	for _, v := range cs.counts {
+	for _, v := range cs.vals {
 		t += v
 	}
 	return t
@@ -57,16 +80,16 @@ func (cs *CounterSet) SortedNames() []string {
 // Clone returns a deep copy of the counter set.
 func (cs *CounterSet) Clone() *CounterSet {
 	out := NewCounterSet()
-	for _, name := range cs.order {
-		out.Add(name, cs.counts[name])
+	for i, name := range cs.order {
+		out.Add(name, cs.vals[i])
 	}
 	return out
 }
 
 // Merge adds every counter from other into cs.
 func (cs *CounterSet) Merge(other *CounterSet) {
-	for _, name := range other.order {
-		cs.Add(name, other.counts[name])
+	for i, name := range other.order {
+		cs.Add(name, other.vals[i])
 	}
 }
 
@@ -77,7 +100,7 @@ func (cs *CounterSet) String() string {
 		if i > 0 {
 			b.WriteString(" ")
 		}
-		fmt.Fprintf(&b, "%s=%d", name, cs.counts[name])
+		fmt.Fprintf(&b, "%s=%d", name, cs.vals[i])
 	}
 	return b.String()
 }

@@ -1,5 +1,7 @@
 package sim
 
+import "sort"
+
 // timeline is a single-server occupancy schedule with gap filling: a
 // reservation may be placed in an earlier idle interval if one fits after
 // its ready time. This models an out-of-order memory controller or a
@@ -14,6 +16,14 @@ package sim
 type timeline struct {
 	gaps []gap // sorted by start time
 	tail Time  // end of the last reservation
+	// maxLen over-estimates the longest gap's length: it is exact right
+	// after an eviction scan or a failed full scan and only ever lags by
+	// over-estimating (gap shrinks don't lower it). When dur exceeds it no
+	// gap can fit, so reserve skips the scan; the skip can only bypass a
+	// scan that would have failed, leaving placement semantics untouched.
+	// The invariants property suite (invariants_test.go) pins the
+	// equivalence against the naive earliest-fit oracle.
+	maxLen Time
 }
 
 type gap struct{ start, end Time }
@@ -27,28 +37,49 @@ func (tl *timeline) reserve(ready, dur Time) Time {
 	if dur < 0 {
 		panic("sim: negative duration")
 	}
-	for i := range tl.gaps {
-		g := tl.gaps[i]
-		if g.end <= ready {
-			continue
+	if dur <= tl.maxLen {
+		// Gaps are disjoint and sorted by start, so their ends are sorted
+		// too: gaps ending at or before ready — unusable for this request —
+		// form a prefix. The common case (ready at or before the first
+		// gap) costs one comparison; otherwise a binary search replaces the
+		// linear skip over the stale prefix.
+		i, n := 0, len(tl.gaps)
+		full := true
+		if n > 0 && tl.gaps[0].end <= ready {
+			i = sort.Search(n, func(j int) bool { return tl.gaps[j].end > ready })
+			full = false
 		}
-		s := MaxTime(g.start, ready)
-		if s+dur > g.end {
-			continue
+		for ; i < n; i++ {
+			g := tl.gaps[i]
+			s := MaxTime(g.start, ready)
+			if s+dur > g.end {
+				continue
+			}
+			// Split the gap around [s, s+dur).
+			switch {
+			case s == g.start && s+dur == g.end:
+				tl.gaps = append(tl.gaps[:i], tl.gaps[i+1:]...)
+			case s == g.start:
+				tl.gaps[i].start = s + dur
+			case s+dur == g.end:
+				tl.gaps[i].end = s
+			default:
+				tl.gaps[i].end = s
+				tl.insertGap(gap{s + dur, g.end}, i+1)
+			}
+			return s
 		}
-		// Split the gap around [s, s+dur).
-		switch {
-		case s == g.start && s+dur == g.end:
-			tl.gaps = append(tl.gaps[:i], tl.gaps[i+1:]...)
-		case s == g.start:
-			tl.gaps[i].start = s + dur
-		case s+dur == g.end:
-			tl.gaps[i].end = s
-		default:
-			tl.gaps[i].end = s
-			tl.insertGap(gap{s + dur, g.end}, i+1)
+		if full {
+			// The scan touched every gap and found no fit: refresh the
+			// over-estimate to the exact maximum for free.
+			var m Time
+			for _, g := range tl.gaps {
+				if d := g.end - g.start; d > m {
+					m = d
+				}
+			}
+			tl.maxLen = m
 		}
-		return s
 	}
 	s := MaxTime(ready, tl.tail)
 	if s > tl.tail {
@@ -69,21 +100,36 @@ func (tl *timeline) insertGap(g gap, i int) {
 		// Reset between drains never re-grow it.
 		tl.gaps = make([]gap, 0, maxGaps)
 	}
+	glen := g.end - g.start
 	if len(tl.gaps) >= maxGaps {
-		// Drop the smallest gap (never this one if it is larger).
-		smallest, si := g.end-g.start, -1
+		// Drop the smallest gap (never this one if it is larger). The scan
+		// already touches every gap, so the exact longest length rides
+		// along and refreshes the maxLen over-estimate.
+		smallest, si := glen, -1
+		var largest Time
 		for j := range tl.gaps {
-			if d := tl.gaps[j].end - tl.gaps[j].start; d < smallest {
+			d := tl.gaps[j].end - tl.gaps[j].start
+			if d < smallest {
 				smallest, si = d, j
+			}
+			if d > largest {
+				largest = d
 			}
 		}
 		if si < 0 {
+			tl.maxLen = largest
 			return // g itself is the smallest; drop it
 		}
 		if si < i {
 			i--
 		}
 		tl.gaps = append(tl.gaps[:si], tl.gaps[si+1:]...)
+		if glen > largest {
+			largest = glen
+		}
+		tl.maxLen = largest
+	} else if glen > tl.maxLen {
+		tl.maxLen = glen
 	}
 	tl.gaps = append(tl.gaps, gap{})
 	copy(tl.gaps[i+1:], tl.gaps[i:])
@@ -94,4 +140,4 @@ func (tl *timeline) insertGap(g gap, i int) {
 func (tl *timeline) freeAt() Time { return tl.tail }
 
 // reset clears the schedule, keeping the gap list's backing array.
-func (tl *timeline) reset() { tl.gaps = tl.gaps[:0]; tl.tail = 0 }
+func (tl *timeline) reset() { tl.gaps = tl.gaps[:0]; tl.tail = 0; tl.maxLen = 0 }

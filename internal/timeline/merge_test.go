@@ -1,0 +1,111 @@
+package timeline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// syntheticEpisode drives a recorder through a plausible multi-resource
+// episode: a few tracks with gap-filled, dependency-chained reservations.
+// It returns the serial recording plus the same episode split across
+// per-shard recorders by track ownership (track i belongs to shard i%n).
+func syntheticEpisode(t *testing.T, shards int) (*Recording, []*Recording) {
+	t.Helper()
+	tracks := []struct{ name, kind string }{
+		{"bank00", "bank"}, {"bank01", "bank"}, {"bank02", "bank"},
+		{"membus", "bus"}, {"aes", "aes"}, {"mac", "mac"},
+	}
+	serial := NewRecorder(0)
+	serial.BeginEpisode("synthetic")
+	owned := make([]*Recorder, shards)
+	for i := range owned {
+		owned[i] = NewRecorder(0)
+		owned[i].BeginEpisode("synthetic")
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	free := make([]sim.Time, len(tracks))
+	var total sim.Time
+	for op := 0; op < 400; op++ {
+		ti := rng.Intn(len(tracks))
+		tr := tracks[ti]
+		ready := sim.Time(rng.Intn(2000))
+		dur := sim.Time(1 + rng.Intn(300))
+		start := sim.MaxTime(ready, free[ti])
+		done := start + dur
+		free[ti] = done
+		if done > total {
+			total = done
+		}
+		serial.SetOp("write", "data")
+		serial.OnReserve(tr.name, tr.kind, ready, start, done, done)
+		shard := owned[ti%shards]
+		shard.SetOp("write", "data")
+		shard.OnReserve(tr.name, tr.kind, ready, start, done, done)
+	}
+	serial.EndEpisode(total)
+	recs := make([]*Recording, shards)
+	for i := range owned {
+		owned[i].EndEpisode(total)
+		recs[i] = owned[i].Recording()
+	}
+	return serial.Recording(), recs
+}
+
+// TestMergePreservesAttribution pins the merge-order determinism argument:
+// attribution of the merged per-shard recordings is identical — steps,
+// shares, total — to the serial recording's, at several shard counts.
+func TestMergePreservesAttribution(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 6} {
+		serial, recs := syntheticEpisode(t, shards)
+		merged := MergeRecordings(recs...)
+		if merged.Episode != serial.Episode || merged.Total != serial.Total {
+			t.Fatalf("shards=%d: merged episode metadata %q/%d, want %q/%d",
+				shards, merged.Episode, merged.Total, serial.Episode, serial.Total)
+		}
+		if len(merged.Events) != len(serial.Events) {
+			t.Fatalf("shards=%d: merged %d events, serial %d", shards, len(merged.Events), len(serial.Events))
+		}
+		want := Analyze(serial)
+		got := Analyze(merged)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: merged attribution diverges from serial\n got %+v\nwant %+v", shards, got, want)
+		}
+	}
+}
+
+// TestMergePreservesExactTiling pins the exact-tiling invariant on merged
+// recordings: the shares (including idle) sum to the episode total.
+func TestMergePreservesExactTiling(t *testing.T) {
+	_, recs := syntheticEpisode(t, 3)
+	merged := MergeRecordings(recs...)
+	att := Analyze(merged)
+	if att.AttributedTotal() != att.Total {
+		t.Fatalf("merged attribution tiles %d of %d", att.AttributedTotal(), att.Total)
+	}
+	if att.Total != merged.Total {
+		t.Fatalf("attribution total %d != recording total %d", att.Total, merged.Total)
+	}
+}
+
+// TestMergeMetadata pins the edge rules: nil inputs are skipped, Dropped
+// sums, Total is the max, merging nothing yields nil.
+func TestMergeMetadata(t *testing.T) {
+	if MergeRecordings() != nil || MergeRecordings(nil, nil) != nil {
+		t.Fatal("merging no recordings must return nil")
+	}
+	a := &Recording{Episode: "e", Total: 10, Dropped: 2, Events: []Event{{Track: "bank00", Kind: "bank", Done: 10}}}
+	b := &Recording{Episode: "e", Total: 25, Dropped: 3, Events: []Event{{Track: "bank01", Kind: "bank", Done: 25}}}
+	m := MergeRecordings(nil, a, nil, b)
+	if m.Episode != "e" || m.Total != 25 || m.Dropped != 5 || len(m.Events) != 2 {
+		t.Fatalf("merge metadata wrong: %+v", m)
+	}
+	// Track ownership keeps per-track record order: events arrive in input
+	// order (a's first).
+	if m.Events[0].Track != "bank00" || m.Events[1].Track != "bank01" {
+		t.Fatalf("merge order not input-ordered: %+v", m.Events)
+	}
+}

@@ -95,6 +95,7 @@ func NewWorkloadSystem(cfg Config, scheme Scheme, domain PersistDomain) *Workloa
 		Layout: lay, Enc: enc, NVM: nvm, Sec: sec,
 		Metrics: cfg.Metrics, Timeline: cfg.Timeline,
 		Timeseries: cfg.Timeseries, Energy: cfg.Energy, BatteryJoules: cfg.BatteryJoules,
+		Shards: cfg.Shards,
 	}
 	machine := runsim.New(runsim.Config{
 		Hierarchy: hcfg,

@@ -1,0 +1,181 @@
+package horus
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/secmem"
+)
+
+// drainArtifacts runs one full warmup+fill+drain episode at the given shard
+// count with every observer attached and returns all of its observable
+// output: the Result, the NVM's full content, the event timeline and the
+// time-series JSON.
+func drainArtifacts(t *testing.T, scheme Scheme, shards int) (Result, []uint64, []mem.Block, *TimelineRecording, []byte) {
+	t.Helper()
+	cfg := TestConfig()
+	cfg.Shards = shards
+	rec := NewTimelineRecorder(0)
+	cfg.Timeline = rec
+	ts := NewTimeseriesSampler(5_000_000, 4096)
+	cfg.Timeseries = ts
+
+	sys := NewSystem(cfg, scheme)
+	if err := sys.Warmup(); err != nil {
+		t.Fatalf("%v shards=%d: warmup: %v", scheme, shards, err)
+	}
+	sys.Fill()
+	res, err := sys.Drain()
+	if err != nil {
+		t.Fatalf("%v shards=%d: drain: %v", scheme, shards, err)
+	}
+
+	store := sys.Core.NVM.Store()
+	addrs := store.AddressesInRange(0, math.MaxUint64)
+	content := make([]mem.Block, len(addrs))
+	for i, a := range addrs {
+		content[i] = store.ReadBlock(a)
+	}
+	var tsJSON bytes.Buffer
+	if err := ts.WriteJSON(&tsJSON); err != nil {
+		t.Fatalf("%v shards=%d: timeseries: %v", scheme, shards, err)
+	}
+	return res, addrs, content, rec.Recording(), tsJSON.Bytes()
+}
+
+// TestShardedDrainDeterminism is the pipeline's acceptance property: for
+// every scheme, a drain at -shards=N (N in {2, 4, 8}) is byte-identical to
+// the serial -shards=1 drain — same Result (times, counters, persistent
+// registers including the tree and vault roots), same NVM bytes at every
+// populated address, same event timeline, same time-series JSON.
+func TestShardedDrainDeterminism(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		res1, addrs1, blocks1, rec1, ts1 := drainArtifacts(t, scheme, 1)
+		for _, shards := range []int{2, 4, 8} {
+			resN, addrsN, blocksN, recN, tsN := drainArtifacts(t, scheme, shards)
+			if !reflect.DeepEqual(res1, resN) {
+				t.Errorf("%v: Result diverges at shards=%d\n serial: %+v\nsharded: %+v", scheme, shards, res1, resN)
+			}
+			if !reflect.DeepEqual(addrs1, addrsN) {
+				t.Errorf("%v: populated address set diverges at shards=%d (%d vs %d addresses)",
+					scheme, shards, len(addrs1), len(addrsN))
+			} else if !reflect.DeepEqual(blocks1, blocksN) {
+				for i := range blocks1 {
+					if blocks1[i] != blocksN[i] {
+						t.Errorf("%v: NVM content diverges at shards=%d, addr %#x", scheme, shards, addrs1[i])
+						break
+					}
+				}
+			}
+			if !reflect.DeepEqual(rec1.Events, recN.Events) {
+				t.Errorf("%v: timeline diverges at shards=%d (%d vs %d events)",
+					scheme, shards, len(rec1.Events), len(recN.Events))
+			}
+			if !bytes.Equal(ts1, tsN) {
+				t.Errorf("%v: time-series JSON diverges at shards=%d", scheme, shards)
+			}
+		}
+	}
+}
+
+// TestShardedDrainHintEfficacy guards against the silent degenerate mode
+// where the determinism property holds only because every speculative hint
+// was rejected and the drain fell back to inline crypto: for the baseline
+// drains of a clean (fault-free) episode, the counter speculation must
+// predict essentially every write.
+func TestShardedDrainHintEfficacy(t *testing.T) {
+	for _, scheme := range []Scheme{BaseLU, BaseEU} {
+		cfg := TestConfig()
+		cfg.Shards = 4
+		sys := NewSystem(cfg, scheme)
+		if err := sys.Warmup(); err != nil {
+			t.Fatalf("%v: warmup: %v", scheme, err)
+		}
+		n := sys.Fill()
+		if _, err := sys.Drain(); err != nil {
+			t.Fatalf("%v: drain: %v", scheme, err)
+		}
+		used, rejected := sys.Core.Sec.DrainHintStats()
+		if used+rejected != int64(n) {
+			t.Errorf("%v: hint stream desynchronised: used %d + rejected %d != %d blocks", scheme, used, rejected, n)
+		}
+		if used < int64(n)*95/100 {
+			t.Errorf("%v: speculation predicted only %d of %d drain writes", scheme, used, n)
+		}
+	}
+}
+
+// TestShardedDrainRecovers pins that a sharded drain leaves recoverable
+// state: crash after a -shards=8 drain, then verified recovery, for a CHV
+// scheme and a baseline.
+func TestShardedDrainRecovers(t *testing.T) {
+	for _, scheme := range []Scheme{BaseLU, HorusDLM} {
+		cfg := TestConfig()
+		cfg.Shards = 8
+		sys := NewSystem(cfg, scheme)
+		if err := sys.Warmup(); err != nil {
+			t.Fatalf("%v: warmup: %v", scheme, err)
+		}
+		sys.Fill()
+		res, err := sys.Drain()
+		if err != nil {
+			t.Fatalf("%v: drain: %v", scheme, err)
+		}
+		sys.Crash()
+		if _, err := sys.Recover(res.Persist); err != nil {
+			t.Fatalf("%v: recovery after sharded drain: %v", scheme, err)
+		}
+	}
+}
+
+// TestShardVaultWorkPartition is the flush work-list property across all
+// five schemes: after a real warmup/fill/drain, the union of the per-shard
+// vault work lists equals the serial payload slot sequence exactly — every
+// slot appears once, in ascending order within its list, in the list of
+// the bank that owns its vault address.
+func TestShardVaultWorkPartition(t *testing.T) {
+	for _, scheme := range AllSchemes() {
+		cfg := TestConfig()
+		sys := NewSystem(cfg, scheme)
+		if err := sys.Warmup(); err != nil {
+			t.Fatalf("%v: warmup: %v", scheme, err)
+		}
+		sys.Fill()
+		if _, err := sys.Drain(); err != nil {
+			t.Fatalf("%v: drain: %v", scheme, err)
+		}
+		payload := len(sys.Core.Sec.VaultPayloadBlocks())
+		lay := sys.Core.Layout
+		for _, shards := range []int{1, 2, 3, 8} {
+			lists := secmem.ShardVaultWork(lay, payload, shards)
+			if len(lists) != shards {
+				t.Fatalf("%v: %d lists for %d shards", scheme, len(lists), shards)
+			}
+			seen := make(map[uint64]int, payload)
+			for w, list := range lists {
+				prev := -1
+				for _, slot := range list {
+					if int(slot) <= prev {
+						t.Fatalf("%v shards=%d: shard %d list not ascending at slot %d", scheme, shards, w, slot)
+					}
+					prev = int(slot)
+					seen[slot]++
+					if own := mem.BankOf(lay.VaultAddr(slot), shards); own != w {
+						t.Fatalf("%v shards=%d: slot %d in shard %d, owned by bank %d", scheme, shards, slot, w, own)
+					}
+				}
+			}
+			if len(seen) != payload {
+				t.Fatalf("%v shards=%d: union covers %d of %d slots", scheme, shards, len(seen), payload)
+			}
+			for slot, n := range seen {
+				if n != 1 {
+					t.Fatalf("%v shards=%d: slot %d appears %d times", scheme, shards, slot, n)
+				}
+			}
+		}
+	}
+}
