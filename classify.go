@@ -1,0 +1,124 @@
+package horus
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/recovery"
+)
+
+// classifyOutcome is the shared recovery oracle behind the torture matrix
+// and the litmus reordering checker: given a crashed system (volatile state
+// already discarded, root register restored from ps), it runs the scheme's
+// recovery path and classifies the result against the pre-crash golden
+// image. interrupted states whether the crash state legitimately misses
+// drain writes (a cut mid-drain, or a reordered epoch prefix); only then is
+// authentic-but-stale or missing data an acceptable OutcomePartial.
+func classifyOutcome(cs *core.System, ps PersistentState,
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string) {
+	if ps.Scheme.UsesCHV() {
+		return classifyHorusOutcome(cs, ps, golden, blocks, interrupted)
+	}
+	return classifyBaselineOutcome(cs, ps, golden, blocks, interrupted)
+}
+
+// classifyHorusOutcome recovers the CHV directly (RestoreMetadataVault +
+// RecoverHorus, without refilling a machine) and compares the recovered
+// blocks against golden. Direct comparison keeps the verdict about the CHV:
+// refilling a machine would route reads through the secure controller and
+// conflate CHV verification with metadata-residue verification.
+func classifyHorusOutcome(cs *core.System, ps PersistentState,
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string) {
+	cs.NVM.ResetStats()
+	cs.Sec.ResetStats()
+	if ps.Vault.Count > 0 {
+		if _, err := recovery.RestoreMetadataVault(cs, ps.Vault); err != nil {
+			return classifyRecoveryError(err, "metadata vault")
+		}
+	}
+	res, err := recovery.RecoverHorus(cs, ps)
+	if err != nil {
+		return classifyRecoveryError(err, "CHV recovery")
+	}
+	drained := make(map[uint64]bool, len(blocks))
+	for _, b := range blocks {
+		drained[b.Addr] = true
+	}
+	recovered := make(map[uint64]bool, len(res.Blocks))
+	for _, b := range res.Blocks {
+		want, ok := golden[b.Addr]
+		if !ok || !drained[b.Addr] {
+			return OutcomeSilentCorruption, fmt.Sprintf("recovered block at %#x was never drained", b.Addr)
+		}
+		if b.Data != want {
+			return OutcomeSilentCorruption, fmt.Sprintf("recovered wrong bytes at %#x with verified MACs", b.Addr)
+		}
+		recovered[b.Addr] = true
+	}
+	missing := 0
+	for _, b := range blocks {
+		if !recovered[b.Addr] {
+			missing++
+		}
+	}
+	switch {
+	case missing == 0:
+		return OutcomeRestored, ""
+	case interrupted:
+		// Blocks past the crash point never reached the persistence
+		// domain: legitimately lost, and everything recovered verified.
+		return OutcomePartial, fmt.Sprintf("%d/%d blocks not persisted before the cut", missing, len(blocks))
+	default:
+		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks missing without error", missing, len(blocks))
+	}
+}
+
+// classifyBaselineOutcome restores the metadata vault and then re-reads every
+// drained block through the secure read path. Each block must come back as
+// its golden bytes, fail verification with a typed error, or — only when the
+// drain was interrupted — come back as an older authentic value (the MACs
+// are real keyed functions in this simulator, so a verified non-golden
+// value is a stale authentic one, not forged bytes).
+func classifyBaselineOutcome(cs *core.System, ps PersistentState,
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string) {
+	cs.NVM.ResetStats()
+	cs.Sec.ResetStats()
+	if _, err := recovery.RecoverBaseline(cs, ps); err != nil {
+		return classifyRecoveryError(err, "baseline recovery")
+	}
+	detected, stale := 0, 0
+	for _, b := range blocks {
+		got, _, err := cs.Sec.ReadBlock(0, b.Addr)
+		if err != nil {
+			if !recovery.IsDetection(err) {
+				return OutcomeInternalError, fmt.Sprintf("post-recovery read of %#x failed with untyped error: %v", b.Addr, err)
+			}
+			detected++
+			continue
+		}
+		if got != golden[b.Addr] {
+			stale++
+		}
+	}
+	switch {
+	case detected == 0 && stale == 0:
+		return OutcomeRestored, ""
+	case detected > 0:
+		return OutcomeDetected, fmt.Sprintf("%d/%d blocks failed verification (typed)", detected, len(blocks))
+	case interrupted:
+		return OutcomePartial, fmt.Sprintf("%d/%d blocks at authentic pre-drain values", stale, len(blocks))
+	default:
+		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks verified with stale values", stale, len(blocks))
+	}
+}
+
+// classifyRecoveryError folds a recovery error into an outcome: typed
+// detection errors satisfy the contract, anything else is an internal
+// failure.
+func classifyRecoveryError(err error, phase string) (CrashOutcome, string) {
+	if recovery.IsDetection(err) {
+		return OutcomeDetected, fmt.Sprintf("%s: %v", phase, err)
+	}
+	return OutcomeInternalError, fmt.Sprintf("%s failed with untyped error: %v", phase, err)
+}

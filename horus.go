@@ -258,10 +258,13 @@ type System struct {
 	filled  bool
 }
 
-// NewSystem builds the machine: NVM, metadata layout sized for the
-// hierarchy's worst-case drain, key engine, secure memory controller (for
-// secure schemes) and drainer.
-func NewSystem(cfg Config, scheme Scheme) *System {
+// newCoreSystem assembles the substrate every simulated machine shares: the
+// NVM controller with a metadata layout sized for the hierarchy's worst-case
+// drain, the key engine, and — when withSec — the secure memory controller,
+// with metrics/timeline/timeseries plumbing attached under the given label
+// pairs. NewSystem, NewWorkloadSystem and the litmus materialiser all build
+// on it, so a replayed image lands in a byte-identical layout.
+func newCoreSystem(cfg Config, scheme Scheme, withSec bool, labels ...string) (*core.System, hierarchy.Config) {
 	hcfg := cfg.hierarchyConfig()
 	lines := uint64(hcfg.TotalLines())
 	metaLines := uint64((cfg.Sec.CounterCacheBytes + cfg.Sec.MACCacheBytes + cfg.Sec.TreeCacheBytes) / mem.BlockSize)
@@ -278,20 +281,33 @@ func NewSystem(cfg Config, scheme Scheme) *System {
 	// the write burst would otherwise dominate the simulator's own time.
 	nvm.Reserve(int(lines+lines/4) + 4096)
 	enc := cme.NewEngine(cfg.KeySeed)
-	scfg := cfg.Sec
-	scfg.Scheme = scheme.RuntimeScheme()
-	sec := secmem.New(scfg, lay, enc, nvm)
+	var sec *secmem.Controller
+	if withSec {
+		scfg := cfg.Sec
+		scfg.Scheme = scheme.RuntimeScheme()
+		sec = secmem.New(scfg, lay, enc, nvm)
+	}
 	cs := &core.System{
 		Layout: lay, Enc: enc, NVM: nvm, Sec: sec,
 		Metrics: cfg.Metrics, Timeline: cfg.Timeline,
 		Timeseries: cfg.Timeseries, Energy: cfg.Energy, BatteryJoules: cfg.BatteryJoules,
 		Shards: cfg.Shards,
 	}
-	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String())
-	sec.SetMetrics(cfg.Metrics, "scheme", scheme.String())
+	nvm.SetMetrics(cfg.Metrics, labels...)
 	nvm.SetTimeline(cfg.Timeline)
-	sec.SetTimeline(cfg.Timeline)
-	nvm.SetTimeseries(cfg.Timeseries, "scheme", scheme.String())
+	nvm.SetTimeseries(cfg.Timeseries, labels...)
+	if sec != nil {
+		sec.SetMetrics(cfg.Metrics, labels...)
+		sec.SetTimeline(cfg.Timeline)
+	}
+	return cs, hcfg
+}
+
+// NewSystem builds the machine: NVM, metadata layout sized for the
+// hierarchy's worst-case drain, key engine, secure memory controller (for
+// secure schemes) and drainer.
+func NewSystem(cfg Config, scheme Scheme) *System {
+	cs, hcfg := newCoreSystem(cfg, scheme, true, "scheme", scheme.String())
 	return &System{
 		Config:    cfg,
 		Scheme:    scheme,

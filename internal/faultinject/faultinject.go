@@ -34,8 +34,22 @@ const (
 	DroppedWrite
 )
 
+// Flavors is a flavor list with a flag-compatible textual form: its String
+// is the comma-separated spelling ParseFlavors accepts, so a selection
+// round-trips through flag plumbing losslessly.
+type Flavors []Flavor
+
+// String renders the list in ParseFlavors syntax ("clean-cut,torn-write,...").
+func (fs Flavors) String() string {
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.String()
+	}
+	return strings.Join(names, ",")
+}
+
 // AllFlavors returns every flavor in matrix order.
-func AllFlavors() []Flavor { return []Flavor{CleanCut, TornWrite, BitFlip, DroppedWrite} }
+func AllFlavors() Flavors { return Flavors{CleanCut, TornWrite, BitFlip, DroppedWrite} }
 
 // String names the flavor for flags and reports.
 func (f Flavor) String() string {
@@ -72,11 +86,11 @@ func ParseFlavor(s string) (Flavor, error) {
 
 // ParseFlavors parses a comma-separated flavor list; "all" or "" selects
 // every flavor.
-func ParseFlavors(s string) ([]Flavor, error) {
+func ParseFlavors(s string) (Flavors, error) {
 	if s == "" || strings.EqualFold(s, "all") {
 		return AllFlavors(), nil
 	}
-	var out []Flavor
+	var out Flavors
 	for _, part := range strings.Split(s, ",") {
 		f, err := ParseFlavor(strings.TrimSpace(part))
 		if err != nil {
@@ -88,13 +102,7 @@ func ParseFlavors(s string) ([]Flavor, error) {
 }
 
 // FlavorNames returns the comma-separated flavor vocabulary (for usage text).
-func FlavorNames() string {
-	names := make([]string, 0, len(AllFlavors()))
-	for _, f := range AllFlavors() {
-		names = append(names, f.String())
-	}
-	return strings.Join(names, ",")
-}
+func FlavorNames() string { return AllFlavors().String() }
 
 // CrashPlan selects one crash point in a drain episode.
 type CrashPlan struct {

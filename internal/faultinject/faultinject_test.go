@@ -109,6 +109,51 @@ func TestParseFlavors(t *testing.T) {
 	}
 }
 
+// A flavor selection must survive the flag round-trip: rendering a Flavors
+// list and re-parsing it yields the same list.
+func TestParseFlavorsRoundTrip(t *testing.T) {
+	all := AllFlavors()
+	got, err := ParseFlavors(all.String())
+	if err != nil {
+		t.Fatalf("ParseFlavors(%q): %v", all.String(), err)
+	}
+	if len(got) != len(all) {
+		t.Fatalf("round-trip = %v, want %v", got, all)
+	}
+	for i := range all {
+		if got[i] != all[i] {
+			t.Fatalf("round-trip[%d] = %v, want %v", i, got[i], all[i])
+		}
+	}
+	sub := Flavors{BitFlip, CleanCut}
+	got, err = ParseFlavors(sub.String())
+	if err != nil || len(got) != 2 || got[0] != BitFlip || got[1] != CleanCut {
+		t.Fatalf("subset round-trip = %v, %v", got, err)
+	}
+}
+
+// SampleSteps edge cases: a stride larger than the episode still yields the
+// boundary steps, and degenerate totals yield nothing.
+func TestSampleStepsEdges(t *testing.T) {
+	got := SampleSteps(10, 100, 0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 9 {
+		t.Fatalf("stride>total sample = %v, want [0 9]", got)
+	}
+	if got := SampleSteps(1, 100, 0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single-step episode = %v, want [0]", got)
+	}
+	if got := SampleSteps(0, 3, 5); got != nil {
+		t.Fatalf("zero-step episode = %v, want nil", got)
+	}
+	if got := SampleSteps(-4, 1, 0); got != nil {
+		t.Fatalf("negative-step episode = %v, want nil", got)
+	}
+	// A non-positive stride behaves as stride 1.
+	if got := SampleSteps(4, 0, 0); len(got) != 4 {
+		t.Fatalf("stride 0 sample = %v, want all 4 steps", got)
+	}
+}
+
 func TestSampleSteps(t *testing.T) {
 	if got := SampleSteps(5, 1, 0); len(got) != 5 {
 		t.Fatalf("full sample = %v", got)

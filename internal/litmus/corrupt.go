@@ -1,0 +1,144 @@
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+)
+
+// Model is one corruption shape the coverage sweep injects into a completed
+// (post-drain) memory image before running recovery.
+type Model int
+
+const (
+	// SingleBit flips one bit of the victim block.
+	SingleBit Model = iota
+	// MultiBit flips three bits spread across the victim block — beyond
+	// what ECC-style single-error correction would mask.
+	MultiBit
+	// Burst XORs a random non-zero pattern over 8 consecutive bytes,
+	// modelling a row-buffer or bus burst error.
+	Burst
+	// WholeLine replaces the entire 64 B victim block with unrelated
+	// content, modelling a misdirected or garbage write.
+	WholeLine
+	// Rollback restores the victim block to its pre-drain content — a
+	// replay of stale-but-authentic bytes, the freshness attack MACs alone
+	// cannot catch.
+	Rollback
+	// RollbackGroup rolls back the victim block and its associated
+	// metadata as a group (data + counter + MAC for in-place schemes),
+	// modelling a consistent stale snapshot of one line.
+	RollbackGroup
+)
+
+var modelNames = map[Model]string{
+	SingleBit:     "single-bit",
+	MultiBit:      "multi-bit",
+	Burst:         "burst",
+	WholeLine:     "whole-line",
+	Rollback:      "rollback",
+	RollbackGroup: "rollback-group",
+}
+
+// String names the model for reports and flag values.
+func (m Model) String() string {
+	if s, ok := modelNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// AllModels returns every corruption model in declaration order.
+func AllModels() []Model {
+	return []Model{SingleBit, MultiBit, Burst, WholeLine, Rollback, RollbackGroup}
+}
+
+// ParseModel resolves a flag token to a corruption model.
+func ParseModel(s string) (Model, error) {
+	for m, name := range modelNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("litmus: unknown corruption model %q (want one of %s)", s, strings.Join(ModelNames(), ", "))
+}
+
+// ParseModels parses a comma-separated model list; "all" (or "") selects
+// every model and "none" selects none.
+func ParseModels(s string) ([]Model, error) {
+	switch s {
+	case "", "all":
+		return AllModels(), nil
+	case "none":
+		return nil, nil
+	}
+	var out []Model
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		m, err := ParseModel(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ModelNames returns the flag spellings of every model, in order.
+func ModelNames() []string {
+	all := AllModels()
+	out := make([]string, len(all))
+	for i, m := range all {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// Corrupt applies the model to cur (the post-drain content of the victim
+// block), deriving corruption positions from the splitmix64 seed. old is the
+// block's pre-drain content, used by the rollback models. The returned block
+// is guaranteed to differ from cur except for rollback of a block the drain
+// never changed (the caller filters such victims).
+func Corrupt(m Model, cur, old mem.Block, seed uint64) mem.Block {
+	r := &rng{state: seed}
+	out := cur
+	switch m {
+	case SingleBit:
+		bit := int(r.next() % (mem.BlockSize * 8))
+		out[bit/8] ^= 1 << (bit % 8)
+	case MultiBit:
+		flipped := map[int]bool{}
+		for len(flipped) < 3 {
+			bit := int(r.next() % (mem.BlockSize * 8))
+			if flipped[bit] {
+				continue
+			}
+			flipped[bit] = true
+			out[bit/8] ^= 1 << (bit % 8)
+		}
+	case Burst:
+		off := int(r.next() % (mem.BlockSize - 7))
+		for i := 0; i < 8; i++ {
+			mask := byte(r.next())
+			if i == 0 && mask == 0 {
+				mask = 1
+			}
+			out[off+i] ^= mask
+		}
+	case WholeLine:
+		for i := range out {
+			out[i] = byte(r.next())
+		}
+		if out == cur {
+			out[0] ^= 1
+		}
+	case Rollback, RollbackGroup:
+		out = old
+	}
+	return out
+}

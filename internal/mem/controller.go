@@ -68,6 +68,7 @@ type Controller struct {
 	m         *accessMetrics     // optional per-access instrumentation
 	ts        *tsSeries          // optional windowed time-series sampling
 	fault     FaultInjector      // optional write-fault injection (torture harness)
+	recorder  WriteRecorder      // optional committed-write observer (litmus recorder)
 	tl        *timeline.Recorder // optional event-timeline recorder
 }
 
@@ -290,11 +291,17 @@ func (c *Controller) Write(ready sim.Time, addr uint64, b Block, cat Category) s
 			nb, commit := applyFault(f, e.b, b)
 			if commit {
 				e.b = nb
+				if c.recorder != nil {
+					c.recorder.OnWriteCommitted(addr, cat, nb)
+				}
 			}
 			return done
 		}
 	}
 	e.b = b
+	if c.recorder != nil {
+		c.recorder.OnWriteCommitted(addr, cat, b)
+	}
 	return done
 }
 

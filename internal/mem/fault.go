@@ -68,9 +68,24 @@ type FaultInjector interface {
 	OnStage(stage string)
 }
 
+// WriteRecorder is an optional extension a FaultInjector may implement to
+// observe the content of every write that actually commits to the medium.
+// OnWrite fires before the store is touched and never sees data; recorders
+// (the litmus epoch recorder) need the committed bytes to replay orderings.
+// It is called once per committed write with the post-fault content — for a
+// dropped or cut write it is not called at all.
+type WriteRecorder interface {
+	OnWriteCommitted(addr uint64, cat Category, b Block)
+}
+
 // SetFaultInjector installs (or, with nil, removes) the fault injector
-// consulted on every subsequent write.
-func (c *Controller) SetFaultInjector(f FaultInjector) { c.fault = f }
+// consulted on every subsequent write. If the injector also implements
+// WriteRecorder, the controller reports every committed write's content to
+// it (the type assertion is cached here, off the per-write hot path).
+func (c *Controller) SetFaultInjector(f FaultInjector) {
+	c.fault = f
+	c.recorder, _ = f.(WriteRecorder)
+}
 
 // MarkStage forwards a persist-ordering boundary label to the installed
 // fault injector. Drain schemes and the metadata-flush path call it so that

@@ -154,6 +154,15 @@ func (s *Store) Snapshot() *Store {
 	return out
 }
 
+// Each calls fn for every populated block, in unspecified order. The litmus
+// harness uses it to copy a snapshotted image into a fresh system's store;
+// callers needing a deterministic order should collect and sort.
+func (s *Store) Each(fn func(addr uint64, b Block)) {
+	for i := range s.shards {
+		s.shards[i].each(func(a uint64, e storeEntry) { fn(a, e.b) })
+	}
+}
+
 // AddressesInRange returns the sorted addresses of populated blocks within
 // [lo, hi). Recovery scans use it to enumerate memory without materialising
 // the full (sparse) address space.

@@ -95,7 +95,11 @@ func RecoverHorus(sys *core.System, ps core.PersistentState) (HorusResult, error
 // RecoverHorusOpts is RecoverHorus with explicit options.
 func RecoverHorusOpts(sys *core.System, ps core.PersistentState, opt Options) (HorusResult, error) {
 	if !ps.Scheme.UsesCHV() {
-		return HorusResult{}, fmt.Errorf("recovery: persistent state is from %v, not a Horus scheme", ps.Scheme)
+		// The scheme register is persistent state like DC/EDC: a crash can
+		// leave any bytes in it, so an implausible value is detected
+		// corruption (typed, so IsDetection classifies it), not a usage error.
+		return HorusResult{}, &Error{
+			Detail: fmt.Sprintf("persistent state is from %v, not a Horus scheme (corrupted register state)", ps.Scheme)}
 	}
 	sys.NVM.ResetStats()
 	sys.Sec.ResetStats()
@@ -181,6 +185,14 @@ func RecoverHorusOpts(sys *core.System, ps core.PersistentState, opt Options) (H
 			ct, t := sys.NVM.Read(now, lay.CHVDataAddrR(ps.CHVRegion, i), mem.CatRecovery)
 			now = t
 			addr := addrs[i%8]
+			// The MAC input is addr|DrainPadDomain, so the OR would absorb a
+			// flipped domain bit in the stored entry and the MAC would still
+			// verify — with the block reported at a bogus address. Stored
+			// entries are runtime addresses and must never carry the bit.
+			if addr&core.DrainPadDomain != 0 {
+				return HorusResult{}, &Error{Slot: i, Addr: addr,
+					Detail: "CHV address entry carries the drain-domain bit (tampered address block)"}
+			}
 			ctr := firstDC + i
 			now = sys.Sec.IssueMAC(now, MACRecoveryVerify)
 			macs++
@@ -246,7 +258,11 @@ type BaselineResult struct {
 // re-installing — memory already verifies against the root register.
 func RecoverBaseline(sys *core.System, ps core.PersistentState) (BaselineResult, error) {
 	if ps.Scheme.UsesCHV() || !ps.Scheme.Secure() {
-		return BaselineResult{}, fmt.Errorf("recovery: persistent state is from %v, not a baseline scheme", ps.Scheme)
+		// Typed for the same reason as the Horus-side scheme check: the
+		// scheme register is persistent state and can hold anything after a
+		// crash, so a mismatch is detected corruption.
+		return BaselineResult{}, &Error{
+			Detail: fmt.Sprintf("persistent state is from %v, not a baseline scheme (corrupted register state)", ps.Scheme)}
 	}
 	sys.NVM.ResetStats()
 	sys.Sec.ResetStats()

@@ -166,6 +166,25 @@ func TestRecoveryDetectsAddressTamper(t *testing.T) {
 	}
 }
 
+// A flipped domain bit (bit 63) in a stored CHV address entry is absorbed by
+// the addr|DrainPadDomain OR feeding the MAC, so the MAC alone cannot object;
+// recovery must reject the non-canonical entry explicitly. Found by the
+// litmus corruption-coverage sweep.
+func TestRecoveryDetectsDomainBitAddressTamper(t *testing.T) {
+	sys, h := buildSystem(t, core.HorusSLM)
+	_, ps := drainAndCrash(t, sys, h, core.HorusSLM, 14)
+	a, _ := sys.Layout.CHVAddrBlockAddr(0)
+	sys.NVM.Store().CorruptByte(a, 7, 0x80) // slot 0 is little-endian: byte 7 holds bit 63
+	_, err := RecoverHorus(sys, ps)
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("domain-bit address tamper recovered: err=%v", err)
+	}
+	if !IsDetection(err) {
+		t.Fatalf("domain-bit tamper error is not a typed detection: %v", err)
+	}
+}
+
 func TestRecoveryDetectsMACTamper(t *testing.T) {
 	for _, scheme := range []core.Scheme{core.HorusSLM, core.HorusDLM} {
 		t.Run(scheme.String(), func(t *testing.T) {
@@ -351,6 +370,38 @@ func TestSchemeMismatchErrors(t *testing.T) {
 	_, ps2 := drainAndCrash(t, sys2, h2, core.HorusSLM, 22)
 	if _, err := RecoverBaseline(sys2, ps2); err == nil {
 		t.Error("RecoverBaseline accepted Horus state")
+	}
+}
+
+// The scheme register is persistent state: after a crash it can hold any
+// value, so a mismatch must surface as a typed detection error (classified
+// by IsDetection), not an untyped usage error the torture/litmus matrices
+// would count as a harness failure.
+func TestSchemeMismatchIsTypedDetection(t *testing.T) {
+	sys, h := buildSystem(t, core.BaseLU)
+	_, ps := drainAndCrash(t, sys, h, core.BaseLU, 23)
+	_, err := RecoverHorus(sys, ps)
+	var re *Error
+	if !errors.As(err, &re) {
+		t.Fatalf("RecoverHorus scheme mismatch not a *recovery.Error: %v", err)
+	}
+	if !IsDetection(err) {
+		t.Errorf("IsDetection(%v) = false, want true", err)
+	}
+
+	sys2, h2 := buildSystem(t, core.HorusSLM)
+	_, ps2 := drainAndCrash(t, sys2, h2, core.HorusSLM, 24)
+	_, err = RecoverBaseline(sys2, ps2)
+	if !errors.As(err, &re) {
+		t.Fatalf("RecoverBaseline scheme mismatch not a *recovery.Error: %v", err)
+	}
+	if !IsDetection(err) {
+		t.Errorf("IsDetection(%v) = false, want true", err)
+	}
+	// NonSecure state is rejected by RecoverBaseline the same way.
+	ps2.Scheme = core.NonSecure
+	if _, err := RecoverBaseline(sys2, ps2); !IsDetection(err) {
+		t.Errorf("non-secure scheme mismatch not a detection: %v", err)
 	}
 }
 

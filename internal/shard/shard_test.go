@@ -60,6 +60,28 @@ func TestCutAlignedBoundaries(t *testing.T) {
 	}
 }
 
+// TestCutAlignedDegenerate pins the n == 0 and n < align boundaries: the
+// whole (partial) group goes to worker 0 and every other worker is empty.
+func TestCutAlignedDegenerate(t *testing.T) {
+	for w := 0; w < 4; w++ {
+		if lo, hi := CutAligned(0, 4, w, 8); lo != 0 || hi != 0 {
+			t.Fatalf("n=0 w=%d: [%d,%d), want empty", w, lo, hi)
+		}
+	}
+	for w := 0; w < 4; w++ {
+		lo, hi := CutAligned(3, 4, w, 8)
+		if w == 0 && (lo != 0 || hi != 3) {
+			t.Fatalf("n<align w=0: [%d,%d), want [0,3)", lo, hi)
+		}
+		if w > 0 && lo != hi {
+			t.Fatalf("n<align w=%d: [%d,%d), want empty", w, lo, hi)
+		}
+		if lo == hi && w > 0 && lo != 3 {
+			t.Fatalf("n<align w=%d: empty range at %d, want pinned to n", w, lo)
+		}
+	}
+}
+
 // TestRunCoversAllWorkers pins that Run invokes every worker exactly once
 // and joins before returning.
 func TestRunCoversAllWorkers(t *testing.T) {

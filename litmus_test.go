@@ -1,0 +1,178 @@
+package horus
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/litmus"
+)
+
+// smallLitmusWorkload keeps test-suite litmus runs fast: a stream the size
+// of the torture matrix's, so recording and materialisation stay cheap.
+func smallLitmusWorkload(seed int64) *Workload {
+	return UniformWorkload(WorkloadConfig{
+		Ops:            120,
+		WorkingSet:     4 << 10,
+		Seed:           seed,
+		PersistPercent: 10,
+	})
+}
+
+func testLitmusConfig(schemes ...Scheme) LitmusConfig {
+	return LitmusConfig{
+		Config:        TestConfig(),
+		Schemes:       schemes,
+		NewWorkload:   smallLitmusWorkload,
+		MaxOrderings:  16,
+		MaxEpochs:     3,
+		Corrupt:       []CorruptionModel{litmus.SingleBit, litmus.Rollback},
+		CorruptTrials: 2,
+	}
+}
+
+// TestLitmusContract runs the reordering sweep and coverage sweep over all
+// four secure schemes and asserts the never-silent contract: every
+// admissible ordering recovers, partially recovers, or detects — and every
+// scheme's completed drain restores exactly.
+func TestLitmusContract(t *testing.T) {
+	lc := testLitmusConfig() // all four secure schemes
+	rep, err := RunLitmus(context.Background(), lc, SweepOptions{Parallel: 4})
+	if err != nil {
+		t.Fatalf("RunLitmus: %v", err)
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		for _, f := range fails {
+			t.Errorf("contract violation: %s", f)
+		}
+	}
+	if rep.Witness != nil {
+		t.Errorf("witness on a passing run: %+v", rep.Witness)
+	}
+	restored := map[Scheme]bool{}
+	cells := map[Scheme]int{}
+	for _, c := range rep.Cells {
+		cells[c.Scheme]++
+		if c.Outcome == OutcomeRestored {
+			restored[c.Scheme] = true
+		}
+	}
+	for _, s := range []Scheme{BaseLU, BaseEU, HorusSLM, HorusDLM} {
+		if cells[s] == 0 {
+			t.Errorf("%v: no ordering cells ran", s)
+		}
+		// The complete final-epoch ordering is the control: it must restore.
+		if !restored[s] {
+			t.Errorf("%v: no ordering restored exactly (complete-drain control missing)", s)
+		}
+		if rep.Steps[s] == 0 || rep.Epochs[s] == 0 {
+			t.Errorf("%v: steps=%d epochs=%d recorded", s, rep.Steps[s], rep.Epochs[s])
+		}
+	}
+	if len(rep.Coverage) == 0 {
+		t.Error("coverage sweep produced no cells")
+	}
+	for _, c := range rep.Coverage {
+		if c.Detected+c.Silent+c.Masked+c.Internal != c.Trials {
+			t.Errorf("%v/%v/%s: verdicts do not sum to trials: %+v", c.Scheme, c.Model, c.Target, c)
+		}
+		// Unkeyed corruption (single-bit here) must never be silent.
+		if c.Model == litmus.SingleBit && c.Silent > 0 {
+			t.Errorf("%v/%s: %d single-bit corruptions silently accepted", c.Scheme, c.Target, c.Silent)
+		}
+	}
+}
+
+// TestLitmusParallelDeterminism pins the engine guarantee the CLI documents:
+// -parallel 1 and -parallel 8 produce byte-identical reports.
+func TestLitmusParallelDeterminism(t *testing.T) {
+	lc := testLitmusConfig(BaseLU, HorusSLM)
+	a, err := RunLitmus(context.Background(), lc, SweepOptions{Parallel: 1})
+	if err != nil {
+		t.Fatalf("parallel=1: %v", err)
+	}
+	b, err := RunLitmus(context.Background(), lc, SweepOptions{Parallel: 8})
+	if err != nil {
+		t.Fatalf("parallel=8: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reports differ across parallelism:\n p1: %+v\n p8: %+v", a, b)
+	}
+}
+
+// TestLitmusSampledOrderingBudget asserts the sampled generator reaches the
+// distinct-ordering target on the bulk drain epoch.
+func TestLitmusSampledOrderingBudget(t *testing.T) {
+	lc := LitmusConfig{
+		Config:       TestConfig(),
+		Schemes:      []Scheme{HorusSLM},
+		MaxOrderings: 128,
+		MaxEpochs:    1, // epoch 0 is the bulk CHV stream
+	}
+	rep, err := RunLitmus(context.Background(), lc, SweepOptions{Parallel: 8})
+	if err != nil {
+		t.Fatalf("RunLitmus: %v", err)
+	}
+	if len(rep.Cells) < 100 {
+		t.Fatalf("bulk epoch explored %d distinct orderings, want >= 100", len(rep.Cells))
+	}
+	if !rep.Ok() {
+		t.Fatalf("bulk epoch violations: %v", rep.Failures())
+	}
+}
+
+// litmusFuzzFixture records one episode per scheme once per process; fuzz
+// executions only materialise and classify.
+var litmusFuzzFixture struct {
+	sync.Once
+	eps map[Scheme]*litmusEpisode
+	cfg Config
+	err error
+}
+
+func litmusFixture(t testing.TB) (map[Scheme]*litmusEpisode, Config) {
+	f := &litmusFuzzFixture
+	f.Do(func() {
+		f.cfg = TestConfig()
+		f.cfg.Metrics = nil
+		f.eps = map[Scheme]*litmusEpisode{}
+		w := smallLitmusWorkload(f.cfg.Seed)
+		for _, s := range []Scheme{BaseLU, HorusSLM} {
+			ep, err := recordLitmusEpisode(f.cfg, s, w)
+			if err != nil {
+				f.err = err
+				return
+			}
+			f.eps[s] = ep
+		}
+	})
+	if f.err != nil {
+		t.Fatalf("recording litmus fixture: %v", f.err)
+	}
+	return f.eps, f.cfg
+}
+
+// FuzzLitmusOrdering drives arbitrary seeds through the sampler and the
+// recovery oracle: any admissible ordering of any epoch must classify as
+// restored, partial or detected — never panic, never silently corrupt.
+func FuzzLitmusOrdering(f *testing.F) {
+	f.Add(uint64(1), uint8(0), false)
+	f.Add(uint64(42), uint8(1), true)
+	f.Add(uint64(0xdeadbeef), uint8(2), false)
+	f.Fuzz(func(t *testing.T, seed uint64, epochPick uint8, horusScheme bool) {
+		eps, cfg := litmusFixture(t)
+		scheme := BaseLU
+		if horusScheme {
+			scheme = HorusSLM
+		}
+		ep := eps[scheme]
+		ei := int(epochPick) % len(ep.epochs)
+		e := ep.epochs[ei]
+		o := litmus.SampleOrdering(ep.writes[e.Lo:e.Hi], seed)
+		out, detail := ep.classifyOrdering(cfg, ei, o)
+		if !out.OK() {
+			t.Fatalf("%v epoch %d seed %#x: %v (%s) applied=%v", scheme, ei, seed, out, detail, o.Applied)
+		}
+	})
+}

@@ -3,13 +3,10 @@ package horus
 import (
 	"fmt"
 
-	"repro/internal/bmt"
-	"repro/internal/cme"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/recovery"
 	"repro/internal/runsim"
-	"repro/internal/secmem"
 	"repro/internal/workload"
 )
 
@@ -73,42 +70,13 @@ type WorkloadSystem struct {
 // and persistence domain. The cache hierarchy is the config's hierarchy;
 // secure schemes route all memory traffic through the secure controller.
 func NewWorkloadSystem(cfg Config, scheme Scheme, domain PersistDomain) *WorkloadSystem {
-	hcfg := cfg.hierarchyConfig()
-	lines := uint64(hcfg.TotalLines())
-	metaLines := uint64((cfg.Sec.CounterCacheBytes + cfg.Sec.MACCacheBytes + cfg.Sec.TreeCacheBytes) / mem.BlockSize)
-	lay := bmt.NewLayout(bmt.Config{
-		DataSize:    cfg.DataSize,
-		CHVCapacity: lines + 64,
-		CHVRegions:  uint64(cfg.CHVRegions),
-		VaultBlocks: metaLines*2 + 32,
-	})
-	nvm := mem.NewController(cfg.Mem)
-	nvm.Reserve(int(lines+lines/4) + 4096)
-	enc := cme.NewEngine(cfg.KeySeed)
-	var sec *secmem.Controller
-	if scheme.Secure() {
-		scfg := cfg.Sec
-		scfg.Scheme = scheme.RuntimeScheme()
-		sec = secmem.New(scfg, lay, enc, nvm)
-	}
-	cs := &core.System{
-		Layout: lay, Enc: enc, NVM: nvm, Sec: sec,
-		Metrics: cfg.Metrics, Timeline: cfg.Timeline,
-		Timeseries: cfg.Timeseries, Energy: cfg.Energy, BatteryJoules: cfg.BatteryJoules,
-		Shards: cfg.Shards,
-	}
+	cs, hcfg := newCoreSystem(cfg, scheme, scheme.Secure(),
+		"scheme", scheme.String(), "domain", domain.String())
 	machine := runsim.New(runsim.Config{
 		Hierarchy: hcfg,
 		Domain:    domain,
 		ClockHz:   cfg.Sec.ClockHz,
-	}, sec, nvm)
-	nvm.SetMetrics(cfg.Metrics, "scheme", scheme.String(), "domain", domain.String())
-	nvm.SetTimeline(cfg.Timeline)
-	nvm.SetTimeseries(cfg.Timeseries, "scheme", scheme.String(), "domain", domain.String())
-	if sec != nil {
-		sec.SetMetrics(cfg.Metrics, "scheme", scheme.String(), "domain", domain.String())
-		sec.SetTimeline(cfg.Timeline)
-	}
+	}, cs.Sec, cs.NVM)
 	machine.SetMetrics(cfg.Metrics, "domain", domain.String())
 	machine.SetTimeline(cfg.Timeline)
 	machine.SetTimeseries(cfg.Timeseries, "domain", domain.String())

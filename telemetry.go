@@ -125,3 +125,13 @@ func TortureSLORules() []SLORule {
 		Description: "recovery must never accept corrupted data as valid (torture matrix)",
 	}}
 }
+
+// LitmusSLORules builds the persistency-litmus objective: the per-ordering
+// silent-corruption series must be zero at every point, for every scheme.
+func LitmusSLORules() []SLORule {
+	return []SLORule{{
+		Name: "no-silent-reordering", Series: "horus_ts_litmus_silent_total",
+		Op: SLOAlwaysZero, RequireData: true,
+		Description: "no admissible write reordering may recover to silently wrong data (litmus sweep)",
+	}}
+}

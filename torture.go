@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/hierarchy"
-	"repro/internal/mem"
 	"repro/internal/recovery"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -364,127 +363,6 @@ func runTortureCell(cfg Config, scheme Scheme, w *Workload, plan faultinject.Cra
 		}
 	}
 
-	interrupted := atCut != nil
-	if scheme.UsesCHV() {
-		classifyHorusCell(&cell, ws, ps, golden, blocks, interrupted)
-	} else {
-		classifyBaselineCell(&cell, ws, ps, golden, blocks, interrupted)
-	}
+	cell.Outcome, cell.Detail = classifyOutcome(ws.Core, ps, golden, blocks, atCut != nil)
 	return cell
-}
-
-// classifyHorusCell recovers the CHV directly (RestoreMetadataVault +
-// RecoverHorus, without refilling the machine) and compares the recovered
-// blocks against golden. Direct comparison keeps the verdict about the CHV:
-// refilling the machine would route reads through the secure controller and
-// conflate CHV verification with metadata-residue verification.
-func classifyHorusCell(cell *TortureCell, ws *WorkloadSystem, ps PersistentState,
-	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) {
-	ws.Core.NVM.ResetStats()
-	ws.Core.Sec.ResetStats()
-	if ps.Vault.Count > 0 {
-		if _, err := recovery.RestoreMetadataVault(ws.Core, ps.Vault); err != nil {
-			classifyError(cell, err, "metadata vault")
-			return
-		}
-	}
-	res, err := recovery.RecoverHorus(ws.Core, ps)
-	if err != nil {
-		classifyError(cell, err, "CHV recovery")
-		return
-	}
-	drained := make(map[uint64]bool, len(blocks))
-	for _, b := range blocks {
-		drained[b.Addr] = true
-	}
-	recovered := make(map[uint64]bool, len(res.Blocks))
-	for _, b := range res.Blocks {
-		want, ok := golden[b.Addr]
-		if !ok || !drained[b.Addr] {
-			cell.Outcome = OutcomeSilentCorruption
-			cell.Detail = fmt.Sprintf("recovered block at %#x was never drained", b.Addr)
-			return
-		}
-		if b.Data != want {
-			cell.Outcome = OutcomeSilentCorruption
-			cell.Detail = fmt.Sprintf("recovered wrong bytes at %#x with verified MACs", b.Addr)
-			return
-		}
-		recovered[b.Addr] = true
-	}
-	missing := 0
-	for _, b := range blocks {
-		if !recovered[b.Addr] {
-			missing++
-		}
-	}
-	switch {
-	case missing == 0:
-		cell.Outcome = OutcomeRestored
-	case interrupted:
-		// Blocks past the crash point never reached the persistence
-		// domain: legitimately lost, and everything recovered verified.
-		cell.Outcome = OutcomePartial
-		cell.Detail = fmt.Sprintf("%d/%d blocks not persisted before the cut", missing, len(blocks))
-	default:
-		cell.Outcome = OutcomeSilentCorruption
-		cell.Detail = fmt.Sprintf("drain completed but %d/%d blocks missing without error", missing, len(blocks))
-	}
-}
-
-// classifyBaselineCell restores the metadata vault and then re-reads every
-// drained block through the secure read path. Each block must come back as
-// its golden bytes, fail verification with a typed error, or — only when the
-// drain was interrupted — come back as an older authentic value (the MACs
-// are real keyed functions in this simulator, so a verified non-golden
-// value is a stale authentic one, not forged bytes).
-func classifyBaselineCell(cell *TortureCell, ws *WorkloadSystem, ps PersistentState,
-	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) {
-	ws.Core.NVM.ResetStats()
-	ws.Core.Sec.ResetStats()
-	if _, err := recovery.RecoverBaseline(ws.Core, ps); err != nil {
-		classifyError(cell, err, "baseline recovery")
-		return
-	}
-	detected, stale := 0, 0
-	for _, b := range blocks {
-		got, _, err := ws.Core.Sec.ReadBlock(0, b.Addr)
-		if err != nil {
-			if !recovery.IsDetection(err) {
-				cell.Outcome = OutcomeInternalError
-				cell.Detail = fmt.Sprintf("post-recovery read of %#x failed with untyped error: %v", b.Addr, err)
-				return
-			}
-			detected++
-			continue
-		}
-		if got != golden[b.Addr] {
-			stale++
-		}
-	}
-	switch {
-	case detected == 0 && stale == 0:
-		cell.Outcome = OutcomeRestored
-	case detected > 0:
-		cell.Outcome = OutcomeDetected
-		cell.Detail = fmt.Sprintf("%d/%d blocks failed verification (typed)", detected, len(blocks))
-	case interrupted:
-		cell.Outcome = OutcomePartial
-		cell.Detail = fmt.Sprintf("%d/%d blocks at authentic pre-drain values", stale, len(blocks))
-	default:
-		cell.Outcome = OutcomeSilentCorruption
-		cell.Detail = fmt.Sprintf("drain completed but %d/%d blocks verified with stale values", stale, len(blocks))
-	}
-}
-
-// classifyError folds a recovery error into the cell: typed detection
-// errors satisfy the contract, anything else is an internal failure.
-func classifyError(cell *TortureCell, err error, phase string) {
-	if recovery.IsDetection(err) {
-		cell.Outcome = OutcomeDetected
-		cell.Detail = fmt.Sprintf("%s: %v", phase, err)
-		return
-	}
-	cell.Outcome = OutcomeInternalError
-	cell.Detail = fmt.Sprintf("%s failed with untyped error: %v", phase, err)
 }
