@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs/evlog"
 	"repro/internal/recovery"
 )
 
@@ -15,8 +16,16 @@ import (
 // image. interrupted states whether the crash state legitimately misses
 // drain writes (a cut mid-drain, or a reordered epoch prefix); only then is
 // authentic-but-stale or missing data an acceptable OutcomePartial.
+//
+// The returned Forensic explains a detection (failing check, region,
+// blocks scanned, provenance chain) and is nil for clean outcomes; cells
+// are private systems, so a chain-bounded flight recorder is attached
+// when the caller hasn't, making every detected cell explainable.
 func classifyOutcome(cs *core.System, ps PersistentState,
-	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string) {
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic) {
+	if cs.Evlog == nil {
+		cs.Evlog = evlog.New(evlog.DefaultChainLimit)
+	}
 	if ps.Scheme.UsesCHV() {
 		return classifyHorusOutcome(cs, ps, golden, blocks, interrupted)
 	}
@@ -29,11 +38,11 @@ func classifyOutcome(cs *core.System, ps PersistentState,
 // refilling a machine would route reads through the secure controller and
 // conflate CHV verification with metadata-residue verification.
 func classifyHorusOutcome(cs *core.System, ps PersistentState,
-	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string) {
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic) {
 	cs.NVM.ResetStats()
 	cs.Sec.ResetStats()
 	if ps.Vault.Count > 0 {
-		if _, err := recovery.RestoreMetadataVault(cs, ps.Vault); err != nil {
+		if _, err := recovery.RestoreMetadataVaultFor(cs, ps.Vault, ps.Scheme.String()); err != nil {
 			return classifyRecoveryError(err, "metadata vault")
 		}
 	}
@@ -49,10 +58,10 @@ func classifyHorusOutcome(cs *core.System, ps PersistentState,
 	for _, b := range res.Blocks {
 		want, ok := golden[b.Addr]
 		if !ok || !drained[b.Addr] {
-			return OutcomeSilentCorruption, fmt.Sprintf("recovered block at %#x was never drained", b.Addr)
+			return OutcomeSilentCorruption, fmt.Sprintf("recovered block at %#x was never drained", b.Addr), nil
 		}
 		if b.Data != want {
-			return OutcomeSilentCorruption, fmt.Sprintf("recovered wrong bytes at %#x with verified MACs", b.Addr)
+			return OutcomeSilentCorruption, fmt.Sprintf("recovered wrong bytes at %#x with verified MACs", b.Addr), nil
 		}
 		recovered[b.Addr] = true
 	}
@@ -64,13 +73,13 @@ func classifyHorusOutcome(cs *core.System, ps PersistentState,
 	}
 	switch {
 	case missing == 0:
-		return OutcomeRestored, ""
+		return OutcomeRestored, "", nil
 	case interrupted:
 		// Blocks past the crash point never reached the persistence
 		// domain: legitimately lost, and everything recovered verified.
-		return OutcomePartial, fmt.Sprintf("%d/%d blocks not persisted before the cut", missing, len(blocks))
+		return OutcomePartial, fmt.Sprintf("%d/%d blocks not persisted before the cut", missing, len(blocks)), nil
 	default:
-		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks missing without error", missing, len(blocks))
+		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks missing without error", missing, len(blocks)), nil
 	}
 }
 
@@ -81,18 +90,25 @@ func classifyHorusOutcome(cs *core.System, ps PersistentState,
 // are real keyed functions in this simulator, so a verified non-golden
 // value is a stale authentic one, not forged bytes).
 func classifyBaselineOutcome(cs *core.System, ps PersistentState,
-	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string) {
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic) {
 	cs.NVM.ResetStats()
 	cs.Sec.ResetStats()
 	if _, err := recovery.RecoverBaseline(cs, ps); err != nil {
 		return classifyRecoveryError(err, "baseline recovery")
 	}
 	detected, stale := 0, 0
-	for _, b := range blocks {
+	var first *Forensic
+	for i, b := range blocks {
 		got, _, err := cs.Sec.ReadBlock(0, b.Addr)
 		if err != nil {
 			if !recovery.IsDetection(err) {
-				return OutcomeInternalError, fmt.Sprintf("post-recovery read of %#x failed with untyped error: %v", b.Addr, err)
+				return OutcomeInternalError, fmt.Sprintf("post-recovery read of %#x failed with untyped error: %v", b.Addr, err), nil
+			}
+			if first == nil {
+				// The probe sweep is this path's detection scan: blocks
+				// scanned before the first typed failure is its latency.
+				first = ForensicFromError(err, "post-recovery read")
+				first.BlocksScanned = int64(i)
 			}
 			detected++
 			continue
@@ -103,22 +119,22 @@ func classifyBaselineOutcome(cs *core.System, ps PersistentState,
 	}
 	switch {
 	case detected == 0 && stale == 0:
-		return OutcomeRestored, ""
+		return OutcomeRestored, "", nil
 	case detected > 0:
-		return OutcomeDetected, fmt.Sprintf("%d/%d blocks failed verification (typed)", detected, len(blocks))
+		return OutcomeDetected, fmt.Sprintf("%d/%d blocks failed verification (typed)", detected, len(blocks)), first
 	case interrupted:
-		return OutcomePartial, fmt.Sprintf("%d/%d blocks at authentic pre-drain values", stale, len(blocks))
+		return OutcomePartial, fmt.Sprintf("%d/%d blocks at authentic pre-drain values", stale, len(blocks)), nil
 	default:
-		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks verified with stale values", stale, len(blocks))
+		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks verified with stale values", stale, len(blocks)), nil
 	}
 }
 
 // classifyRecoveryError folds a recovery error into an outcome: typed
-// detection errors satisfy the contract, anything else is an internal
-// failure.
-func classifyRecoveryError(err error, phase string) (CrashOutcome, string) {
+// detection errors satisfy the contract (with their forensic provenance),
+// anything else is an internal failure.
+func classifyRecoveryError(err error, phase string) (CrashOutcome, string, *Forensic) {
 	if recovery.IsDetection(err) {
-		return OutcomeDetected, fmt.Sprintf("%s: %v", phase, err)
+		return OutcomeDetected, fmt.Sprintf("%s: %v", phase, err), ForensicFromError(err, phase)
 	}
-	return OutcomeInternalError, fmt.Sprintf("%s failed with untyped error: %v", phase, err)
+	return OutcomeInternalError, fmt.Sprintf("%s failed with untyped error: %v", phase, err), nil
 }

@@ -51,6 +51,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "write the per-ordering cell table as CSV to this file")
 		covCSV     = flag.String("coverage-csv", "", "write the coverage table as CSV to this file")
 		cells      = flag.Bool("cells", false, "print the per-ordering cell table, not just the summaries")
+		explain    = flag.Bool("explain", false, "print the detection-forensics table (failing check, region and provenance per detected cell or trial)")
 	)
 	mf := cliutil.AddMetricsFlags()
 	pf := cliutil.AddProfileFlags()
@@ -129,6 +130,10 @@ func main() {
 	if len(rep.Coverage) > 0 {
 		fmt.Println()
 		rep.CoverageTable().Fprint(os.Stdout)
+	}
+	if *explain {
+		fmt.Println()
+		rep.ForensicTable().Fprint(os.Stdout)
 	}
 
 	if *csvPath != "" {

@@ -32,6 +32,8 @@ func main() {
 	pf := cliutil.AddProfileFlags()
 	tfl := cliutil.AddTelemetryFlags(false)
 	shards := cliutil.AddShardsFlag()
+	tf := cliutil.AddTraceFlags()
+	ff := cliutil.AddForensicFlags()
 	flag.Parse()
 	if err := pf.Start(); err != nil {
 		fatal(err)
@@ -46,6 +48,8 @@ func main() {
 	cfg.Shards = *shards
 	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
 	cfg.Timeseries = tfl.Sampler()
+	cfg.Timeline = tf.Recorder()
+	cfg.Evlog = ff.Log()
 	if err := tfl.StartServer(cfg.Metrics); err != nil {
 		fatal(err)
 	}
@@ -96,11 +100,35 @@ func main() {
 		fmt.Printf("metrics: %s snapshot to %s\n", mf.Format, mf.Path)
 	}
 
+	// The drain's recording is snapshotted before recovery: each recovery
+	// path brackets its own phase-local episode in the same recorder.
+	var drainRec *horus.TimelineRecording
+	if cfg.Timeline != nil {
+		drainRec = cfg.Timeline.Recording()
+	}
+
+	writeEvlog := func() {
+		if ff.Path == "" {
+			return
+		}
+		if err := ff.WriteJSONL(cfg.Evlog.Records()...); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("forensics: flight recorder (%d events) to %s\n", cfg.Evlog.Len(), ff.Path)
+	}
+
 	rec, err := sys.Recover(res.Persist)
 	var rerr *horus.RecoveryError
 	switch {
 	case errors.As(err, &rerr):
 		fmt.Printf("recovery REFUSED: %v\n", err)
+		if ff.Explain {
+			f := horus.ForensicFromError(err, "recovery")
+			f.Scheme = scheme.String()
+			fmt.Println()
+			report.ForensicTable(*f).Fprint(os.Stdout)
+		}
+		writeEvlog()
 		if *attackFlag == "none" {
 			os.Exit(1) // should never refuse an untouched image
 		}
@@ -128,6 +156,26 @@ func main() {
 	} else {
 		fmt.Printf("metadata-cache vault re-installed (%d lines); in-place data verifies\n", res.Persist.Vault.Count)
 	}
+	if tf.Attrib {
+		fmt.Println()
+		report.AttributionTable(horus.AnalyzeTimeline(drainRec)).Fprint(os.Stdout)
+		if atts := rec.Attributions(); len(atts) > 0 {
+			fmt.Println()
+			report.AttributionTableTitled("Recovery critical path by binding resource", "(recovery time)", atts...).Fprint(os.Stdout)
+			for _, r := range rec.Timelines() {
+				fmt.Println()
+				report.GanttTitled("Recovery timeline: "+r.Episode, r).Fprint(os.Stdout)
+			}
+		}
+	}
+	if tf.Path != "" {
+		recs := append([]*horus.TimelineRecording{drainRec}, rec.Timelines()...)
+		if err := tf.WriteTrace(recs...); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline: drain + %d recovery path(s) to %s\n", len(rec.Timelines()), tf.Path)
+	}
+	writeEvlog()
 	writeMetrics()
 }
 

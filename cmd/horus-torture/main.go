@@ -39,6 +39,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the matrix after this long (0 = no limit)")
 		csvPath    = flag.String("csv", "", "write the per-crash-point cell table as CSV to this file")
 		cells      = flag.Bool("cells", false, "print the per-crash-point cell table, not just the summary")
+		explain    = flag.Bool("explain", false, "print the detection-forensics table (failing check, region and provenance per detected cell)")
 	)
 	mf := cliutil.AddMetricsFlags()
 	pf := cliutil.AddProfileFlags()
@@ -112,6 +113,10 @@ func main() {
 		rep.CellTable().Fprint(os.Stdout)
 	}
 	rep.Table().Fprint(os.Stdout)
+	if *explain {
+		fmt.Println()
+		rep.ForensicTable().Fprint(os.Stdout)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -154,6 +154,11 @@ func runPointEpisode(ctx context.Context, pt DrainPoint, env sweep.Env) (pointVa
 		}
 		cfg.Timeseries = timeseries.New(base.WindowPs(), base.Capacity(), "point", label)
 	}
+	// And the flight recorder: episodes bracket their own evlog episodes, so
+	// a shared log would interleave records across workers.
+	if pt.Config.Evlog != nil {
+		cfg.Evlog = NewEvlog(pt.Config.Evlog.Limit())
+	}
 
 	sys := NewSystem(cfg, pt.Scheme)
 	if err := sys.Warmup(); err != nil {

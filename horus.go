@@ -185,6 +185,14 @@ type Config struct {
 	// disable sampling entirely; the detached fast path costs one pointer
 	// check per event.
 	Timeseries *TimeseriesSampler
+	// Evlog, when non-nil, is the detection-forensics flight recorder the
+	// recovery paths feed: one structured record per recovery decision
+	// (check evaluated, region touched, expected-vs-got identity), the
+	// trailing records of which every typed recovery error captures as its
+	// provenance chain (Error.Chain). Sweep grids clone a fresh per-episode
+	// log so parallel episodes never share a ring. Leave nil to disable;
+	// the detached fast path costs one pointer check per decision.
+	Evlog *Evlog
 	// BatteryJoules, when positive, is the hold-up energy budget the
 	// drain races against (derive it from a Table III volume with
 	// BatteryBudgetJoules). It enables the horus_ts_energy_budget_frac
@@ -290,7 +298,8 @@ func newCoreSystem(cfg Config, scheme Scheme, withSec bool, labels ...string) (*
 	cs := &core.System{
 		Layout: lay, Enc: enc, NVM: nvm, Sec: sec,
 		Metrics: cfg.Metrics, Timeline: cfg.Timeline,
-		Timeseries: cfg.Timeseries, Energy: cfg.Energy, BatteryJoules: cfg.BatteryJoules,
+		Timeseries: cfg.Timeseries, Evlog: cfg.Evlog,
+		Energy: cfg.Energy, BatteryJoules: cfg.BatteryJoules,
 		Shards: cfg.Shards,
 	}
 	nvm.SetMetrics(cfg.Metrics, labels...)
@@ -439,7 +448,7 @@ func (s *System) recoverFrom(ps PersistentState) (RecoveryReport, error) {
 		if ps.Vault.Count > 0 {
 			// Restore the run-time metadata residue first, so in-place
 			// data written before the crash verifies again.
-			vres, err := recovery.RestoreMetadataVault(s.Core, ps.Vault)
+			vres, err := recovery.RestoreMetadataVaultFor(s.Core, ps.Vault, ps.Scheme.String())
 			if err != nil {
 				return RecoveryReport{}, err
 			}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/evlog"
 	"repro/internal/obs/timeseries"
 	"repro/internal/secmem"
 	"repro/internal/sim"
@@ -181,6 +182,12 @@ type System struct {
 	// per-bank queue depth. All sampling is nil-safe and read-only with
 	// respect to simulated state.
 	Timeseries *timeseries.Sampler
+
+	// Evlog, when non-nil, is the detection-forensics flight recorder the
+	// recovery paths feed: one structured record per recovery decision
+	// (check evaluated, region touched, expected-vs-got identity), captured
+	// into any typed recovery error as its provenance chain. Nil-safe.
+	Evlog *evlog.Log
 
 	// Energy holds the energy-model constants the drawdown series uses;
 	// zero params record a zero-energy series (callers that want the
@@ -383,6 +390,7 @@ func (d *Drainer) Drain(blocks []hierarchy.DirtyBlock) (Result, error) {
 	scheme := d.scheme.String()
 	reg.SetHelp("horus_drain_time_ps", "Simulated draining time of the most recent episode, picoseconds (Fig. 11).")
 	reg.SetHelp("horus_drain_blocks_total", "Dirty cache blocks flushed across draining episodes.")
+	reg.SetHelp("horus_drain_episodes_total", "Completed draining episodes per scheme.")
 	reg.Gauge("horus_drain_time_ps", "scheme", scheme).Set(float64(t))
 	reg.Counter("horus_drain_blocks_total", "scheme", scheme).Add(int64(len(blocks)))
 	reg.Counter("horus_drain_episodes_total", "scheme", scheme).Add(1)

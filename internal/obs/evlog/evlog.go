@@ -1,0 +1,271 @@
+// Package evlog is the detection-forensics flight recorder: a bounded,
+// episode-bracketed structured event log that records the causal provenance
+// of every recovery decision — which check ran, which layout region and
+// address it touched, the expected-vs-got identity of a MAC or counter
+// comparison, and how many blocks had been scanned when it fired.
+//
+// Like a flight recorder, the log is a ring: once the bound is reached the
+// oldest records are overwritten, so after a failure the log holds the
+// events leading up to it. The recovery paths capture the ring into the
+// typed error they return (see recovery.Error.Chain), which is how a
+// torture-matrix or litmus cell can print a forensic report for a detection
+// that happened on a private per-cell system.
+//
+// The package mirrors the obs.Registry nil-safety contract: every method is
+// a no-op on a nil *Log, so a detached recovery path pays exactly one
+// pointer check per decision and allocates nothing
+// (BenchmarkEvlogDisabledOverhead pins this).
+package evlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DefaultLimit bounds a log built with New(0): enough to hold the whole
+// decision trail of a small recovery episode and the tail of a large one.
+const DefaultLimit = 256
+
+// DefaultChainLimit is the ring bound harnesses attach to per-cell systems:
+// large enough to show the blocks scanned immediately before a detection,
+// small enough that thousands of cells can each carry a chain.
+const DefaultChainLimit = 32
+
+// Record is one recovery decision.
+type Record struct {
+	// Seq numbers records within the episode, including overwritten ones,
+	// so a gap at the front of a captured chain is visible.
+	Seq int64 `json:"seq"`
+	// TPs is the phase-local simulated time of the decision, picoseconds.
+	TPs int64 `json:"t_ps"`
+	// Episode names the recovery path episode ("recover-chv:Horus-SLM").
+	Episode string `json:"episode,omitempty"`
+	// Stage is the recovery stage in flight ("recover:chv-stream").
+	Stage string `json:"stage,omitempty"`
+	// Check names the verification evaluated ("chv-data-mac", "vault-root").
+	Check string `json:"check"`
+	// Region is the layout region the decision touched ("chv-data", "vault").
+	Region string `json:"region,omitempty"`
+	// Addr/Slot locate the block under the check, when one is known.
+	Addr uint64 `json:"addr"`
+	Slot uint64 `json:"slot,omitempty"`
+	// Expected/Got are the identity comparison, hex, filled on mismatch.
+	Expected string `json:"expected,omitempty"`
+	Got      string `json:"got,omitempty"`
+	// Blocks is how many blocks the path had verified when the check ran —
+	// the detection-latency numerator.
+	Blocks int64 `json:"blocks_scanned"`
+	// Outcome is "ok", "fail" or "info".
+	Outcome string `json:"outcome"`
+	// Detail is the human-readable failure description, empty on "ok".
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the record as one forensic-report line.
+func (r Record) String() string {
+	s := fmt.Sprintf("#%d t=%dps %s %s %s addr=%#x blocks=%d", r.Seq, r.TPs, r.Outcome, r.Check, r.Region, r.Addr, r.Blocks)
+	if r.Expected != "" || r.Got != "" {
+		s += fmt.Sprintf(" expected=%s got=%s", r.Expected, r.Got)
+	}
+	if r.Detail != "" {
+		s += " — " + r.Detail
+	}
+	return s
+}
+
+// Log is the bounded ring of records for one recovery episode. It is
+// single-threaded, like the recovery path that feeds it: parallel harness
+// cells each attach their own log.
+type Log struct {
+	limit   int
+	ring    []Record
+	next    int  // ring cursor (index of the oldest record once full)
+	full    bool // ring has wrapped
+	seq     int64
+	episode string
+	stage   string
+	totalPs int64
+}
+
+// New returns a log retaining at most limit records (0 selects
+// DefaultLimit; negative values select DefaultChainLimit's floor of 1).
+func New(limit int) *Log {
+	if limit == 0 {
+		limit = DefaultLimit
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return &Log{limit: limit}
+}
+
+// Enabled reports whether the log records anything.
+func (l *Log) Enabled() bool { return l != nil }
+
+// Limit returns the configured ring bound.
+func (l *Log) Limit() int {
+	if l == nil {
+		return 0
+	}
+	return l.limit
+}
+
+// BeginEpisode clears the ring and names the episode; each recovery path
+// brackets itself so the log covers exactly one path at a time.
+func (l *Log) BeginEpisode(label string) {
+	if l == nil {
+		return
+	}
+	l.ring = l.ring[:0]
+	l.next = 0
+	l.full = false
+	l.seq = 0
+	l.episode = label
+	l.stage = ""
+	l.totalPs = 0
+}
+
+// EndEpisode records the episode's final phase-local time.
+func (l *Log) EndEpisode(totalPs int64) {
+	if l == nil {
+		return
+	}
+	l.totalPs = totalPs
+}
+
+// TotalPs returns the episode span recorded by EndEpisode.
+func (l *Log) TotalPs() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.totalPs
+}
+
+// SetStage stamps the recovery stage onto subsequent records.
+func (l *Log) SetStage(stage string) {
+	if l == nil {
+		return
+	}
+	l.stage = stage
+}
+
+// Append stamps the record with the running sequence number, episode and
+// stage and adds it to the ring, overwriting the oldest record when full.
+func (l *Log) Append(r Record) {
+	if l == nil {
+		return
+	}
+	r.Seq = l.seq
+	l.seq++
+	r.Episode = l.episode
+	r.Stage = l.stage
+	if len(l.ring) < l.limit {
+		l.ring = append(l.ring, r)
+		l.next = len(l.ring) % l.limit
+		l.full = len(l.ring) == l.limit && l.next == 0
+		return
+	}
+	l.ring[l.next] = r
+	l.next = (l.next + 1) % l.limit
+	l.full = true
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.ring)
+}
+
+// Overwritten returns how many records the ring has discarded.
+func (l *Log) Overwritten() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.seq - int64(len(l.ring))
+}
+
+// Records returns the retained records oldest-first.
+func (l *Log) Records() []Record {
+	if l == nil || len(l.ring) == 0 {
+		return nil
+	}
+	out := make([]Record, 0, len(l.ring))
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+	}
+	out = append(out, l.ring[:l.next]...)
+	if !l.full {
+		out = append(out[:0], l.ring...)
+	}
+	return out
+}
+
+// Chain returns the newest n retained records oldest-first (n <= 0 returns
+// every retained record) — the provenance chain a typed recovery error
+// carries.
+func (l *Log) Chain(n int) []Record {
+	recs := l.Records()
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	return recs
+}
+
+// WriteJSONL writes the retained records oldest-first, one JSON object per
+// line. A nil log writes nothing.
+func WriteJSONL(w io.Writer, recs ...Record) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the log's retained records as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	return WriteJSONL(w, l.Records()...)
+}
+
+// Forensic is the portable summary of one detection: what fired, where,
+// after how much scanning, with the trailing provenance chain. The recovery
+// packages fill the check/identity fields from their typed errors; the
+// torture/litmus harnesses fill the cell-level labels (Label, Scheme,
+// Model) before reporting.
+type Forensic struct {
+	// Label names the harness cell ("Horus-SLM/bit-flip@12"), when any.
+	Label string `json:"label,omitempty"`
+	// Scheme is the drain design under test.
+	Scheme string `json:"scheme,omitempty"`
+	// Model is the corruption model / fault flavor that provoked the
+	// detection ("bit-flip", "rollback", "reorder").
+	Model string `json:"model,omitempty"`
+	// Phase is the recovery phase that detected it ("CHV recovery",
+	// "metadata vault", "post-recovery read").
+	Phase string `json:"phase,omitempty"`
+	// Check names the verification that fired.
+	Check string `json:"check,omitempty"`
+	// Region is the layout region of the failing address.
+	Region string `json:"region,omitempty"`
+	// Addr/Slot locate the failure.
+	Addr uint64 `json:"addr"`
+	Slot uint64 `json:"slot,omitempty"`
+	// Expected/Got are the failing identity comparison, hex.
+	Expected string `json:"expected,omitempty"`
+	Got      string `json:"got,omitempty"`
+	// BlocksScanned is how many blocks recovery verified before detection.
+	BlocksScanned int64 `json:"blocks_scanned"`
+	// DetectLatencyPs is the phase-local simulated time of the detection.
+	DetectLatencyPs int64 `json:"detect_latency_ps"`
+	// Detail is the typed error's description.
+	Detail string `json:"detail,omitempty"`
+	// Chain is the trailing provenance (empty when recording was disabled).
+	Chain []Record `json:"chain,omitempty"`
+}

@@ -1,0 +1,149 @@
+package evlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	if l.Enabled() {
+		t.Fatal("nil log reports enabled")
+	}
+	l.BeginEpisode("x")
+	l.SetStage("s")
+	l.Append(Record{Check: "c"})
+	l.EndEpisode(100)
+	if l.Len() != 0 || l.Limit() != 0 || l.TotalPs() != 0 || l.Overwritten() != 0 {
+		t.Fatal("nil log reports state")
+	}
+	if l.Records() != nil || l.Chain(4) != nil {
+		t.Fatal("nil log returns records")
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil log wrote %q err=%v", buf.String(), err)
+	}
+}
+
+func TestRingKeepsNewestAndCountsOverwrites(t *testing.T) {
+	l := New(3)
+	l.BeginEpisode("ep")
+	for i := 0; i < 5; i++ {
+		l.Append(Record{Check: "c", Addr: uint64(i)})
+	}
+	recs := l.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d, want 3", len(recs))
+	}
+	for i, r := range recs {
+		if want := uint64(i + 2); r.Addr != want {
+			t.Fatalf("recs[%d].Addr = %d, want %d", i, r.Addr, want)
+		}
+		if want := int64(i + 2); r.Seq != want {
+			t.Fatalf("recs[%d].Seq = %d, want %d", i, r.Seq, want)
+		}
+		if r.Episode != "ep" {
+			t.Fatalf("recs[%d].Episode = %q", i, r.Episode)
+		}
+	}
+	if l.Overwritten() != 2 {
+		t.Fatalf("Overwritten = %d, want 2", l.Overwritten())
+	}
+}
+
+func TestBeginEpisodeResets(t *testing.T) {
+	l := New(4)
+	l.BeginEpisode("a")
+	l.SetStage("stage-a")
+	l.Append(Record{Check: "one"})
+	l.EndEpisode(50)
+	l.BeginEpisode("b")
+	l.Append(Record{Check: "two"})
+	recs := l.Records()
+	if len(recs) != 1 || recs[0].Check != "two" || recs[0].Seq != 0 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Episode != "b" || recs[0].Stage != "" {
+		t.Fatalf("episode/stage not reset: %+v", recs[0])
+	}
+	if l.TotalPs() != 0 {
+		t.Fatalf("TotalPs = %d after reset", l.TotalPs())
+	}
+}
+
+func TestChainTruncatesFromFront(t *testing.T) {
+	l := New(10)
+	l.BeginEpisode("ep")
+	for i := 0; i < 6; i++ {
+		l.Append(Record{Addr: uint64(i)})
+	}
+	c := l.Chain(2)
+	if len(c) != 2 || c[0].Addr != 4 || c[1].Addr != 5 {
+		t.Fatalf("Chain(2) = %+v", c)
+	}
+	if got := l.Chain(0); len(got) != 6 {
+		t.Fatalf("Chain(0) len = %d", len(got))
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	l := New(8)
+	l.BeginEpisode("recover-chv:Horus-SLM")
+	l.SetStage("recover:chv-stream")
+	l.Append(Record{TPs: 10, Check: "chv-data-mac", Region: "chv-data", Addr: 0x40, Blocks: 1, Outcome: "ok"})
+	l.Append(Record{TPs: 20, Check: "chv-data-mac", Region: "chv-data", Addr: 0x80, Blocks: 2,
+		Outcome: "fail", Expected: "0a0b", Got: "ffee", Detail: "MAC mismatch"})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var back []Record
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		back = append(back, r)
+	}
+	if len(back) != 2 {
+		t.Fatalf("round-tripped %d records", len(back))
+	}
+	if back[1].Expected != "0a0b" || back[1].Got != "ffee" || back[1].Stage != "recover:chv-stream" {
+		t.Fatalf("back[1] = %+v", back[1])
+	}
+	if back[0].Expected != "" || back[0].Detail != "" {
+		t.Fatalf("ok record carries failure fields: %+v", back[0])
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Seq: 3, TPs: 120, Outcome: "fail", Check: "vault-root", Region: "vault",
+		Addr: 0x1000, Blocks: 7, Expected: "aa", Got: "bb", Detail: "root mismatch"}
+	s := r.String()
+	for _, want := range []string{"#3", "t=120ps", "fail", "vault-root", "addr=0x1000", "blocks=7", "expected=aa", "got=bb", "root mismatch"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// BenchmarkEvlogDisabledOverhead pins the disabled fast path: recovery code
+// calls Append on a nil *Log, which must be one pointer check and zero
+// allocations.
+func BenchmarkEvlogDisabledOverhead(b *testing.B) {
+	var l *Log
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Append(Record{Check: "chv-data-mac", Addr: uint64(i), Blocks: int64(i), Outcome: "ok"})
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		l.Append(Record{Check: "chv-data-mac", Outcome: "ok"})
+	}); n != 0 {
+		b.Fatalf("disabled Append allocates %v per op", n)
+	}
+}

@@ -266,4 +266,7 @@ var (
 	UtilizationBuckets = LinearBuckets(0.05, 0.05, 19)
 	// DepthBuckets covers queue depths in powers of two.
 	DepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+	// CountBuckets covers event counts (blocks scanned before a detection
+	// fired, trials run) from 1 to 32768 in powers of two.
+	CountBuckets = ExpBuckets(1, 2, 16)
 )

@@ -96,6 +96,18 @@ func (r *Registry) SetHelp(name, help string) {
 	r.help[name] = help
 }
 
+// Help returns the HELP string attached to a metric name, or "" when none
+// was registered — the help-string lint walks every exported series name
+// through this.
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[name]
+}
+
 // seriesKey canonicalises (name, labels) into a map key. Labels must
 // already be sorted by key.
 func seriesKey(name string, labels []Label) string {
@@ -190,10 +202,11 @@ func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histo
 }
 
 // Merge folds every metric of other into r: counters add, histograms merge
-// bucket-wise (matching bounds required), gauges take other's latest value.
-// Spans of other are appended as additional roots. Intended for combining
-// per-chain registries of bank-parallel recovery into one report. A nil
-// receiver or nil other is a no-op.
+// bucket-wise (matching bounds required), gauges take other's latest value,
+// and help strings carry over (r's own, when already set, win). Spans of
+// other are appended as additional roots. Intended for combining per-chain
+// registries of bank-parallel recovery into one report. A nil receiver or
+// nil other is a no-op.
 func (r *Registry) Merge(other *Registry) {
 	if r == nil || other == nil {
 		return
@@ -203,6 +216,10 @@ func (r *Registry) Merge(other *Registry) {
 	entries := make([]*metricEntry, 0, len(keys))
 	for _, k := range keys {
 		entries = append(entries, other.metrics[k])
+	}
+	help := make(map[string]string, len(other.help))
+	for name, h := range other.help {
+		help[name] = h
 	}
 	// Deep-copy the span tree: sharing live *Span pointers across
 	// registries would let a late EndAt on other race a scrape of r.
@@ -228,6 +245,11 @@ func (r *Registry) Merge(other *Registry) {
 		}
 	}
 	r.mu.Lock()
+	for name, h := range help {
+		if r.help[name] == "" {
+			r.help[name] = h
+		}
+	}
 	r.roots = append(r.roots, spans...)
 	r.mu.Unlock()
 }

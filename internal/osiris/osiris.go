@@ -19,6 +19,11 @@
 // faithfully reproduces the mechanism and its costs — full-memory scan,
 // candidate MAC trials, whole-tree rebuild — which is exactly the
 // recovery-time trade-off the paper's related work discusses.
+//
+// Observability mirrors the main recovery package: the scan and rebuild
+// run as one "recover-osiris" timeline/flight-recorder episode (path label
+// "osiris"), so the baseline counter-reconstruction cost shows up in the
+// same attribution tables and forensic chains as the CHV and vault paths.
 package osiris
 
 import (
@@ -29,7 +34,10 @@ import (
 	"repro/internal/cme"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs/evlog"
+	"repro/internal/recovery"
 	"repro/internal/sim"
+	"repro/internal/timeline"
 )
 
 // nodeKey identifies a tree node during the rebuild.
@@ -51,12 +59,22 @@ type Result struct {
 	TreeNodesRebuilt int64
 	// RecoveryTime is the simulated duration of the scan and rebuild.
 	RecoveryTime sim.Time
+	// Timeline is the episode captured when a recorder was attached.
+	Timeline *timeline.Recording
 }
 
 // Error reports an unrecoverable block.
 type Error struct {
 	Addr   uint64
 	Detail string
+
+	// Forensic provenance, stamped like recovery.Error's.
+	Check           string         // "osiris-counter-trial"
+	Region          string         // layout region of the failing address
+	Expected        string         // stored MAC no candidate reproduced, hex
+	BlocksScanned   int64          // data blocks recovered before the failure
+	DetectLatencyPs int64          // phase-local simulated time of the failure
+	Chain           []evlog.Record // trailing flight-recorder records
 }
 
 // Error implements the error interface.
@@ -70,16 +88,28 @@ func (e *Error) Error() string {
 // controller (empty metadata caches); on success, in-place data verifies
 // through the normal secure read path again.
 func Recover(sys *core.System, stopLoss int) (Result, error) {
+	return RecoverLabeled(sys, stopLoss, "")
+}
+
+// RecoverLabeled is Recover with the scheme label stamped on the path's
+// metrics, timeline episode and forensic records.
+func RecoverLabeled(sys *core.System, stopLoss int, scheme string) (Result, error) {
 	if stopLoss <= 0 {
 		return Result{}, fmt.Errorf("osiris: stop-loss must be positive")
+	}
+	if scheme == "" {
+		scheme = "unknown"
 	}
 	lay := sys.Layout
 	nvm := sys.NVM
 	nvm.ResetStats()
 	sys.Sec.ResetStats()
+	p := recovery.BeginPath(sys, "osiris", scheme)
+	p.Stage("recover:osiris-scan")
 
 	var res Result
 	var now sim.Time
+	var macs int64
 
 	// Pass 1: recover counters, grouped by counter block.
 	dataAddrs := nvm.Store().AddressesInRange(0, lay.DataSize)
@@ -121,7 +151,9 @@ func Recover(sys *core.System, stopLoss int) (Result, error) {
 		for d := uint64(0); d <= uint64(stopLoss); d++ {
 			cand := base + d
 			res.CandidateTrials++
+			macs++
 			now = sys.Sec.IssueMAC(now, "osiris-trial")
+			p.MACOp(now)
 			if sys.Enc.DataMAC(addr, cand, ct) == stored {
 				if d > 0 {
 					res.CountersAdvanced++
@@ -136,20 +168,36 @@ func Recover(sys *core.System, stopLoss int) (Result, error) {
 			if stored == (cme.MAC{}) && ct.IsZero() && base == 0 {
 				continue // never-written block that happens to be populated
 			}
-			return Result{}, &Error{Addr: addr,
-				Detail: fmt.Sprintf("no counter candidate within stop-loss %d verifies", stopLoss)}
+			e := &Error{Addr: addr,
+				Check: "osiris-counter-trial", Region: "data",
+				Expected:        fmt.Sprintf("%x", stored),
+				BlocksScanned:   int64(res.DataBlocksScanned),
+				DetectLatencyPs: int64(now),
+				Detail:          fmt.Sprintf("no counter candidate within stop-loss %d verifies", stopLoss)}
+			e.Chain = p.Failure(now, evlog.Record{Check: e.Check, Region: e.Region,
+				Addr: addr, Expected: e.Expected, Detail: e.Detail})
+			return Result{}, e
 		}
+		p.Ok(now, "osiris-counter-trial", "data", addr, 0)
+		p.Block(now)
 	}
 	flush()
 
 	// Pass 2: rebuild the integrity tree bottom-up over every counter
 	// block present in NVM, and re-anchor the root register.
-	root, nodes, t := RebuildTree(sys, now)
+	p.Stage("recover:osiris-rebuild")
+	root, nodes, rMACs, t := rebuildTree(sys, now, p)
 	now = t
+	macs += rMACs
 	res.TreeNodesRebuilt = nodes
 	sys.Sec.RestoreRoot(root)
 
 	res.RecoveryTime = now
+	res.Timeline = p.Done(now)
+	recovery.PublishPathMetrics(sys.Metrics, scheme, "osiris", now,
+		int64(res.DataBlocksScanned), macs, res.Timeline)
+	sys.NVM.PublishMetrics("recover-osiris", now)
+	sys.Sec.PublishMetrics("recover-osiris", now)
 	return res, nil
 }
 
@@ -170,9 +218,17 @@ func setCounter(cb *cme.CounterBlock, slot int, value uint64) {
 // RebuildTree recomputes every populated integrity-tree path bottom-up and
 // returns the new root-register content and the number of nodes written.
 func RebuildTree(sys *core.System, start sim.Time) (mem.Block, int64, sim.Time) {
+	root, written, _, now := rebuildTree(sys, start, nil)
+	return root, written, now
+}
+
+// rebuildTree is RebuildTree with MAC-op accounting on an optional
+// recovery-path observer.
+func rebuildTree(sys *core.System, start sim.Time, p *recovery.PathObs) (mem.Block, int64, int64, sim.Time) {
 	lay := sys.Layout
 	nvm := sys.NVM
 	now := start
+	var macs int64
 
 	// Level 0: every populated counter block.
 	ctrBase := lay.CounterBase
@@ -188,7 +244,9 @@ func RebuildTree(sys *core.System, start sim.Time) (mem.Block, int64, sim.Time) 
 		}
 		raw, t := nvm.Read(now, a, mem.CatCounter)
 		now = t
+		macs++
 		now = sys.Sec.IssueMAC(now, "osiris-rebuild")
+		p.MACOp(now)
 		macVal := sys.Enc.NodeMAC(0, index, raw)
 		pLevel, pIndex, slot := lay.Parent(0, index)
 		k := nodeKey{pLevel, pIndex}
@@ -228,7 +286,9 @@ func RebuildTree(sys *core.System, start sim.Time) (mem.Block, int64, sim.Time) 
 			addr := lay.NodeAddr(level, k.index)
 			now = nvm.Write(now, addr, content, mem.CatTree)
 			written++
+			macs++
 			now = sys.Sec.IssueMAC(now, "osiris-rebuild")
+			p.MACOp(now)
 			macVal := sys.Enc.NodeMAC(level, k.index, content)
 			pLevel, pIndex, slot := lay.Parent(level, k.index)
 			nk := nodeKey{pLevel, pIndex}
@@ -238,5 +298,5 @@ func RebuildTree(sys *core.System, start sim.Time) (mem.Block, int64, sim.Time) 
 			pending[nk][slot] = macVal
 		}
 	}
-	return root, written, now
+	return root, written, macs, now
 }

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/obs/evlog"
+	"repro/internal/sim"
+)
+
+// forensicChainTail bounds how many trailing flight-recorder records a
+// forensic row prints; earlier records collapse into one "… N earlier"
+// note so a table over many cells stays readable.
+const forensicChainTail = 8
+
+// ForensicTable renders detection forensics: one row per detection naming
+// the failing check, the layout region and address it touched, how many
+// blocks recovery had verified when it fired and the detection latency.
+// Notes under each row carry the expected-vs-got identity comparison, the
+// typed error's detail and the trailing flight-recorder provenance chain.
+func ForensicTable(fs ...evlog.Forensic) *Table {
+	t := &Table{
+		Title:  "Detection forensics: failing check and provenance per detection",
+		Header: []string{"cell", "model", "phase", "check", "region", "addr", "blocks", "latency"},
+	}
+	if len(fs) == 0 {
+		t.AddNote("no detections to explain")
+		return t
+	}
+	for _, f := range fs {
+		cell := f.Label
+		if cell == "" {
+			cell = f.Scheme
+		}
+		if cell == "" {
+			cell = "-"
+		}
+		t.AddRow(cell, f.Model, f.Phase, f.Check, f.Region,
+			fmt.Sprintf("%#x", f.Addr), fmt.Sprintf("%d", f.BlocksScanned),
+			sim.Time(f.DetectLatencyPs).String())
+		if f.Expected != "" || f.Got != "" {
+			t.AddNote("%s: expected %s, got %s", cell, f.Expected, f.Got)
+		}
+		if f.Detail != "" {
+			t.AddNote("%s: %s", cell, f.Detail)
+		}
+		recs := f.Chain
+		if len(recs) > forensicChainTail {
+			t.AddNote("%s: … %d earlier flight-recorder events", cell, len(recs)-forensicChainTail)
+			recs = recs[len(recs)-forensicChainTail:]
+		}
+		for _, r := range recs {
+			t.AddNote("%s: %s", cell, r.String())
+		}
+	}
+	t.AddNote("blocks = blocks verified before the check fired; latency = phase-local simulated detection time")
+	return t
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/obs/evlog"
 	"repro/internal/timeline"
 )
 
@@ -100,4 +101,81 @@ func TestGoldenGanttEmpty(t *testing.T) {
 	r.BeginEpisode("golden-empty")
 	r.EndEpisode(0)
 	checkGolden(t, "gantt_empty.golden", Gantt(r.Recording()).String())
+}
+
+// goldenRecoveryRecording builds a deterministic recovery-path episode: a
+// vault-restore stage followed by a CHV read-back stage, phase-local clock
+// starting at zero.
+func goldenRecoveryRecording() *timeline.Recording {
+	r := timeline.NewRecorder(0)
+	r.BeginEpisode("recover-chv:golden-slm")
+	r.SetStage("recover:chv")
+	r.SetOp("read", "chv-data")
+	r.OnReserve("bank00", "bank", 0, 0, 400, 400)
+	r.OnReserve("membus", "bus", 400, 400, 520, 520)
+	r.SetOp("mac", "chv-data-mac")
+	r.OnReserve("mac", "mac", 520, 520, 780, 780)
+	r.SetOp("aes", "otp")
+	r.OnReserve("aes", "aes", 780, 780, 862, 940)
+	r.EndEpisode(940)
+	return r.Recording()
+}
+
+// TestGoldenRecoveryAttributionTable pins the titled variant the recovery
+// paths render: "Recovery critical path by binding resource" with a
+// "(recovery time)" total row.
+func TestGoldenRecoveryAttributionTable(t *testing.T) {
+	rec := goldenRecoveryRecording()
+	got := AttributionTableTitled("Recovery critical path by binding resource",
+		"(recovery time)", timeline.Analyze(rec)).String()
+	checkGolden(t, "recovery_attribution.golden", got)
+}
+
+// TestGoldenRecoveryGantt pins the recovery-timeline Gantt title.
+func TestGoldenRecoveryGantt(t *testing.T) {
+	rec := goldenRecoveryRecording()
+	got := GanttTitled("Recovery timeline: "+rec.Episode, rec).String()
+	checkGolden(t, "recovery_gantt.golden", got)
+}
+
+// goldenForensics builds two deterministic detections: a CHV data-MAC
+// failure with a short provenance chain, and a post-recovery probe failure
+// with no chain (no recorder attached in that cell).
+func goldenForensics() []evlog.Forensic {
+	return []evlog.Forensic{
+		{
+			Label: "Horus-SLM/step12/bit-flip", Scheme: "Horus-SLM", Model: "bit-flip",
+			Phase: "CHV recovery", Check: "chv-data-mac", Region: "chv-data",
+			Addr: 0x4c00, Slot: 3, Expected: "02d5d23bbe46d867", Got: "451b133b4d946e4b",
+			BlocksScanned: 3, DetectLatencyPs: 1_025_000,
+			Detail: "data MAC mismatch (tampered, spliced or replayed CHV content)",
+			Chain: []evlog.Record{
+				{Seq: 1, TPs: 205_000, Episode: "recover-chv:Horus-SLM", Stage: "recover:chv",
+					Check: "chv-data-mac", Region: "chv-data", Addr: 0x4000, Slot: 0, Blocks: 1, Outcome: "ok"},
+				{Seq: 2, TPs: 410_000, Episode: "recover-chv:Horus-SLM", Stage: "recover:chv",
+					Check: "chv-data-mac", Region: "chv-data", Addr: 0x4400, Slot: 1, Blocks: 2, Outcome: "ok"},
+				{Seq: 3, TPs: 1_025_000, Episode: "recover-chv:Horus-SLM", Stage: "recover:chv",
+					Check: "chv-data-mac", Region: "chv-data", Addr: 0x4c00, Slot: 3, Blocks: 3,
+					Expected: "02d5d23bbe46d867", Got: "451b133b4d946e4b", Outcome: "fail",
+					Detail: "data MAC mismatch (tampered, spliced or replayed CHV content)"},
+			},
+		},
+		{
+			Label: "Base-LU/single-bit/counters", Scheme: "Base-LU", Model: "single-bit",
+			Phase: "post-recovery read", Check: "secmem-tamper", Region: "runtime",
+			Addr: 0x9a40, BlocksScanned: 17,
+			Detail: "level 0 index 2: counter verification failed",
+		},
+	}
+}
+
+// TestGoldenForensicTable pins the detection-forensics rendering: per-row
+// cell/check/latency columns plus expected/got, detail and chain notes.
+func TestGoldenForensicTable(t *testing.T) {
+	checkGolden(t, "forensic.golden", ForensicTable(goldenForensics()...).String())
+}
+
+// TestGoldenForensicTableEmpty pins the no-detections degenerate case.
+func TestGoldenForensicTableEmpty(t *testing.T) {
+	checkGolden(t, "forensic_empty.golden", ForensicTable().String())
 }

@@ -13,8 +13,15 @@ import (
 // total row, with each share's percentage of the episode's drain time. By
 // construction the per-episode totals equal the measured drain times.
 func AttributionTable(atts ...timeline.Attribution) *Table {
+	return AttributionTableTitled("Drain critical path by binding resource", "(drain time)", atts...)
+}
+
+// AttributionTableTitled is AttributionTable with the title and the
+// per-episode total-row label chosen by the caller — the recovery paths use
+// "Recovery critical path by binding resource" / "(recovery time)".
+func AttributionTableTitled(title, totalLabel string, atts ...timeline.Attribution) *Table {
 	t := &Table{
-		Title:  "Drain critical path by binding resource",
+		Title:  title,
 		Header: []string{"scheme", "resource", "service", "wait", "total", "share"},
 	}
 	dropped := false
@@ -24,7 +31,7 @@ func AttributionTable(atts ...timeline.Attribution) *Table {
 				s.Service.String(), s.Wait.String(), s.Total().String(),
 				sharePct(s.Total(), a.Total))
 		}
-		t.AddRow(a.Episode, "(drain time)", "", "", a.AttributedTotal().String(),
+		t.AddRow(a.Episode, totalLabel, "", "", a.AttributedTotal().String(),
 			sharePct(a.AttributedTotal(), a.Total))
 		if a.Dropped > 0 {
 			dropped = true
@@ -64,7 +71,13 @@ func ganttDensity(busy, span sim.Time) byte {
 // episodes compress into character buckets, so a character shows the
 // bucket's busy fraction, not individual events.
 func Gantt(rec *timeline.Recording) *Table {
-	t := &Table{Title: fmt.Sprintf("Drain timeline: %s", rec.Episode)}
+	return GanttTitled(fmt.Sprintf("Drain timeline: %s", rec.Episode), rec)
+}
+
+// GanttTitled is Gantt with a caller-chosen title; recovery episodes render
+// as "Recovery timeline: recover-chv:Horus-SLM".
+func GanttTitled(title string, rec *timeline.Recording) *Table {
+	t := &Table{Title: title}
 	total := rec.Total
 	if total <= 0 {
 		t.AddNote("empty recording")

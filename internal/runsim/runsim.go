@@ -162,6 +162,12 @@ func (m *Machine) PublishMetrics() {
 	s := m.Stats()
 	reg.SetHelp("horus_run_ops", "Run-time operations executed, by kind.")
 	reg.SetHelp("horus_run_time_ps", "Simulated run-time execution time, picoseconds.")
+	reg.SetHelp("horus_run_persist_flushes", "Persist barriers that flushed dirty lines to the memory controller.")
+	reg.SetHelp("horus_run_persist_elided", "Persist barriers elided because the target lines were already clean.")
+	reg.SetHelp("horus_run_wpq_stalls", "Run-time stalls waiting for write-pending-queue capacity.")
+	reg.SetHelp("horus_run_misses_to_mem", "Cache misses that reached the memory controller at run time.")
+	reg.SetHelp("horus_run_writebacks", "Dirty-line writebacks issued to the memory controller at run time.")
+	reg.SetHelp("horus_run_cache_hits", "Run-time cache hits, by hierarchy level.")
 	lbl := func(extra ...string) []string { return append(extra, m.mLabels...) }
 	reg.Gauge("horus_run_ops", lbl("kind", "read")...).Set(float64(s.Reads))
 	reg.Gauge("horus_run_ops", lbl("kind", "write")...).Set(float64(s.Writes))

@@ -10,6 +10,8 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/litmus"
 	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/obs/evlog"
 	"repro/internal/recovery"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -77,6 +79,9 @@ type LitmusCell struct {
 	EpochWrites int    // total writes of the epoch
 	Outcome     CrashOutcome
 	Detail      string
+	// Forensic explains a detection (failing check, region, blocks scanned,
+	// provenance chain); nil for clean cells.
+	Forensic *Forensic
 }
 
 // Label names the cell in reports and errors.
@@ -96,6 +101,9 @@ type CoverageCell struct {
 	Silent   int
 	Masked   int
 	Internal int
+	// Forensics explains each detected trial, in trial order (trials run
+	// sequentially inside one episode, so the order is deterministic).
+	Forensics []*Forensic
 }
 
 // DetectionRate returns detected/(detected+silent), the probability that an
@@ -247,6 +255,37 @@ func (r *LitmusReport) CoverageTable() *report.Table {
 	return t
 }
 
+// ForensicTable explains every detection of the run — ordering cells that
+// ended in OutcomeDetected (corruption model "reorder") and detected
+// coverage trials — with the failing check, region, scan latency and
+// flight-recorder provenance chain per detection.
+func (r *LitmusReport) ForensicTable() *report.Table {
+	var fs []Forensic
+	for _, c := range r.Cells {
+		if c.Forensic == nil {
+			continue
+		}
+		f := *c.Forensic
+		f.Label = c.Label()
+		f.Scheme = c.Scheme.String()
+		f.Model = "reorder"
+		fs = append(fs, f)
+	}
+	for _, c := range r.Coverage {
+		for _, fp := range c.Forensics {
+			if fp == nil {
+				continue
+			}
+			f := *fp
+			f.Label = fmt.Sprintf("%s/%s/%s", c.Scheme, c.Model, c.Target)
+			f.Scheme = c.Scheme.String()
+			f.Model = c.Model.String()
+			fs = append(fs, f)
+		}
+	}
+	return report.ForensicTable(fs...)
+}
+
 // defaultLitmusWorkload is larger than the torture matrix's stream on
 // purpose: its working set exceeds the test-scale metadata caches' reach, so
 // runtime evictions populate the in-place counter/MAC/tree regions and leave
@@ -340,7 +379,7 @@ func (ep *litmusEpisode) materialize(cfg Config, ei int, applied []int) *core.Sy
 }
 
 // classifyOrdering materialises one ordering and runs the recovery oracle.
-func (ep *litmusEpisode) classifyOrdering(cfg Config, ei int, o litmus.Ordering) (CrashOutcome, string) {
+func (ep *litmusEpisode) classifyOrdering(cfg Config, ei int, o litmus.Ordering) (CrashOutcome, string, *Forensic) {
 	sys := ep.materialize(cfg, ei, o.Applied)
 	ps := ep.snaps[ei]
 	complete := o.Complete(ep.epochs[ei].Size())
@@ -426,7 +465,7 @@ func (ep *litmusEpisode) recoverFor(sys *core.System, ps PersistentState) error 
 	sys.Sec.ResetStats()
 	if ps.Scheme.UsesCHV() {
 		if ps.Vault.Count > 0 {
-			if _, err := recovery.RestoreMetadataVault(sys, ps.Vault); err != nil {
+			if _, err := recovery.RestoreMetadataVaultFor(sys, ps.Vault, ps.Scheme.String()); err != nil {
 				return err
 			}
 		}
@@ -446,17 +485,19 @@ func (ep *litmusEpisode) recoverFor(sys *core.System, ps PersistentState) error 
 }
 
 // coverageTrial corrupts one victim of the complete image and reports the
-// verdict: "detected", "silent", "masked" or "internal".
-func (ep *litmusEpisode) coverageTrial(cfg Config, model CorruptionModel, victim uint64, seed uint64, ref map[uint64]mem.Block, addrs []uint64) (string, string) {
+// verdict ("detected", "silent", "masked" or "internal") plus, for a
+// detection, its forensic provenance.
+func (ep *litmusEpisode) coverageTrial(cfg Config, model CorruptionModel, victim uint64, seed uint64, ref map[uint64]mem.Block, addrs []uint64) (string, string, *Forensic) {
 	ei, all := ep.lastEpochComplete()
 	sys := ep.materialize(cfg, ei, all)
+	sys.Evlog = evlog.New(evlog.DefaultChainLimit)
 	ps := ep.snaps[ei]
 	st := sys.NVM.Store()
 
 	cur := st.ReadBlock(victim)
 	nb := litmus.Corrupt(model, cur, ep.pre.ReadBlock(victim), seed)
 	if nb == cur {
-		return "masked", "corruption was a no-op"
+		return "masked", "corruption was a no-op", nil
 	}
 	st.WriteBlock(victim, nb)
 	if model == litmus.RollbackGroup && ep.lay.RegionOf(victim) == bmt.RegionData {
@@ -469,35 +510,38 @@ func (ep *litmusEpisode) coverageTrial(cfg Config, model CorruptionModel, victim
 
 	if err := ep.recoverFor(sys, ps); err != nil {
 		if recovery.IsDetection(err) {
-			return "detected", fmt.Sprintf("recovery: %v", err)
+			return "detected", fmt.Sprintf("recovery: %v", err), ForensicFromError(err, "recovery")
 		}
 		if ps.Scheme.UsesCHV() {
 			// recoverFor folds wrong-recovered-bytes into an untyped error.
-			return "silent", err.Error()
+			return "silent", err.Error(), nil
 		}
-		return "internal", err.Error()
+		return "internal", err.Error(), nil
 	}
 
 	detected := ""
-	for _, a := range addrs {
+	var forensic *Forensic
+	for i, a := range addrs {
 		b, _, err := sys.Sec.ReadBlock(0, a)
 		if err != nil {
 			if !recovery.IsDetection(err) {
-				return "internal", fmt.Sprintf("probe of %#x: %v", a, err)
+				return "internal", fmt.Sprintf("probe of %#x: %v", a, err), nil
 			}
 			if detected == "" {
 				detected = fmt.Sprintf("probe of %#x: %v", a, err)
+				forensic = ForensicFromError(err, "post-recovery read")
+				forensic.BlocksScanned = int64(i)
 			}
 			continue
 		}
 		if b != ref[a] {
-			return "silent", fmt.Sprintf("probe of %#x verified with wrong plaintext", a)
+			return "silent", fmt.Sprintf("probe of %#x verified with wrong plaintext", a), nil
 		}
 	}
 	if detected != "" {
-		return "detected", detected
+		return "detected", detected, forensic
 	}
-	return "masked", ""
+	return "masked", "", nil
 }
 
 // RunLitmus records one fault-free drain per scheme, explores admissible
@@ -584,7 +628,7 @@ func RunLitmus(ctx context.Context, lc LitmusConfig, opts SweepOptions) (*Litmus
 					Scheme: sp.ep.scheme, Epoch: sp.ei, Stage: e.Stage,
 					Kind: sp.ord.Kind, Applied: len(sp.ord.Applied), EpochWrites: e.Size(),
 				}
-				cell.Outcome, cell.Detail = sp.ep.classifyOrdering(cfg, sp.ei, sp.ord)
+				cell.Outcome, cell.Detail, cell.Forensic = sp.ep.classifyOrdering(cfg, sp.ei, sp.ord)
 				return cell, nil
 			},
 		})
@@ -630,10 +674,11 @@ func RunLitmus(ctx context.Context, lc LitmusConfig, opts SweepOptions) (*Litmus
 				for t := 0; t < trials; t++ {
 					seed := uint64(sweep.DeriveSeed(env.Seed, t))
 					victim := sp.pool[seed%uint64(len(sp.pool))]
-					verdict, _ := sp.ep.coverageTrial(cfg, sp.model, victim, seed, sp.ref, sp.addrs)
+					verdict, _, forensic := sp.ep.coverageTrial(cfg, sp.model, victim, seed, sp.ref, sp.addrs)
 					switch verdict {
 					case "detected":
 						cell.Detected++
+						cell.Forensics = append(cell.Forensics, forensic)
 					case "silent":
 						cell.Silent++
 					case "masked":
@@ -670,7 +715,7 @@ func RunLitmus(ctx context.Context, lc LitmusConfig, opts SweepOptions) (*Litmus
 		sp := ordSpecs[i]
 		wantOutcome := c.Outcome
 		min := litmus.Minimize(sp.ep.writes[sp.ep.epochs[sp.ei].Lo:sp.ep.epochs[sp.ei].Hi], sp.ord.Applied, func(cand []int) bool {
-			out, _ := sp.ep.classifyOrdering(cfg, sp.ei, litmus.Ordering{Kind: "minimize", Applied: cand})
+			out, _, _ := sp.ep.classifyOrdering(cfg, sp.ei, litmus.Ordering{Kind: "minimize", Applied: cand})
 			return out == wantOutcome
 		})
 		wit := &LitmusWitness{Cell: c, Applied: min}
@@ -690,6 +735,17 @@ func RunLitmus(ctx context.Context, lc LitmusConfig, opts SweepOptions) (*Litmus
 			sink.Counter("horus_litmus_cells_total",
 				"scheme", c.Scheme.String(), "outcome", c.Outcome.String()).Add(1)
 		}
+		sink.SetHelp("horus_recovery_detect_latency_blocks", "Blocks verified before the failing check fired, per detection (scheme x corruption model).")
+		sink.SetHelp("horus_recovery_detect_latency_ps", "Phase-local simulated time to the failing check, per detection (scheme x corruption model).")
+		for _, c := range rep.Cells {
+			if c.Forensic == nil {
+				continue
+			}
+			sink.Histogram("horus_recovery_detect_latency_blocks", obs.CountBuckets,
+				"scheme", c.Scheme.String(), "model", "reorder").Observe(float64(c.Forensic.BlocksScanned))
+			sink.Histogram("horus_recovery_detect_latency_ps", obs.LatencyBuckets,
+				"scheme", c.Scheme.String(), "model", "reorder").Observe(float64(c.Forensic.DetectLatencyPs))
+		}
 		sink.SetHelp("horus_litmus_coverage_trials_total", "Corruption-coverage trials by scheme, model, target and verdict.")
 		for _, c := range rep.Coverage {
 			verdicts := []struct {
@@ -701,6 +757,15 @@ func RunLitmus(ctx context.Context, lc LitmusConfig, opts SweepOptions) (*Litmus
 					sink.Counter("horus_litmus_coverage_trials_total",
 						"scheme", c.Scheme.String(), "model", c.Model.String(), "target", c.Target, "verdict", v.name).Add(int64(v.n))
 				}
+			}
+			for _, f := range c.Forensics {
+				if f == nil {
+					continue
+				}
+				sink.Histogram("horus_recovery_detect_latency_blocks", obs.CountBuckets,
+					"scheme", c.Scheme.String(), "model", c.Model.String()).Observe(float64(f.BlocksScanned))
+				sink.Histogram("horus_recovery_detect_latency_ps", obs.LatencyBuckets,
+					"scheme", c.Scheme.String(), "model", c.Model.String()).Observe(float64(f.DetectLatencyPs))
 			}
 		}
 	}

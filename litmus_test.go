@@ -170,7 +170,7 @@ func FuzzLitmusOrdering(f *testing.F) {
 		ei := int(epochPick) % len(ep.epochs)
 		e := ep.epochs[ei]
 		o := litmus.SampleOrdering(ep.writes[e.Lo:e.Hi], seed)
-		out, detail := ep.classifyOrdering(cfg, ei, o)
+		out, detail, _ := ep.classifyOrdering(cfg, ei, o)
 		if !out.OK() {
 			t.Fatalf("%v epoch %d seed %#x: %v (%s) applied=%v", scheme, ei, seed, out, detail, o.Applied)
 		}

@@ -28,7 +28,7 @@ func (s *System) RecoverWithOsiris() (OsirisResult, error) {
 	if n <= 0 {
 		return OsirisResult{}, fmt.Errorf("horus: RecoverWithOsiris requires Config.Sec.OsirisStopLoss > 0")
 	}
-	return osiris.Recover(s.Core, n)
+	return osiris.RecoverLabeled(s.Core, n, s.Scheme.String())
 }
 
 // RecoverWithOsiris is the workload-system variant.
@@ -37,5 +37,5 @@ func (ws *WorkloadSystem) RecoverWithOsiris() (OsirisResult, error) {
 	if n <= 0 {
 		return OsirisResult{}, fmt.Errorf("horus: RecoverWithOsiris requires Config.Sec.OsirisStopLoss > 0")
 	}
-	return osiris.Recover(ws.Core, n)
+	return osiris.RecoverLabeled(ws.Core, n, ws.Scheme.String())
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -80,6 +81,9 @@ type TortureCell struct {
 	Fired   faultinject.FiredInfo
 	Outcome CrashOutcome
 	Detail  string // error text or mismatch description, "" for clean cells
+	// Forensic explains a detection — failing check, region, blocks scanned
+	// before it fired, provenance chain — and is nil for clean cells.
+	Forensic *Forensic
 }
 
 // Label names the cell in reports and errors.
@@ -146,6 +150,25 @@ func (r *TortureReport) Table() *report.Table {
 		t.AddNote("every cell ended in exact restoration, authentic partial state, or a typed detection error")
 	}
 	return t
+}
+
+// ForensicTable renders the provenance of every detected cell: which check
+// fired, where, after how many scanned blocks, and the trailing
+// flight-recorder chain (cells attach a bounded per-cell recorder, so the
+// chain is always present). Surfaced by horus-torture -explain.
+func (r *TortureReport) ForensicTable() *report.Table {
+	var fs []Forensic
+	for _, c := range r.Cells {
+		if c.Forensic == nil {
+			continue
+		}
+		f := *c.Forensic
+		f.Label = c.Label()
+		f.Scheme = c.Scheme.String()
+		f.Model = c.Flavor.String()
+		fs = append(fs, f)
+	}
+	return report.ForensicTable(fs...)
 }
 
 // CellTable lists every crash point with its verdict — the per-crash-point
@@ -255,9 +278,19 @@ func RunTortureMatrix(ctx context.Context, tc TortureConfig, opts SweepOptions) 
 	}
 	if sink != nil {
 		sink.SetHelp("horus_torture_cells_total", "Crash-matrix cells by scheme, fault flavor and recovery outcome.")
+		sink.SetHelp("horus_recovery_detect_latency_blocks",
+			"Blocks recovery had verified before a corruption check fired, by scheme and corruption model.")
+		sink.SetHelp("horus_recovery_detect_latency_ps",
+			"Phase-local simulated time at which a corruption check fired, picoseconds, by scheme and corruption model.")
 		for _, c := range rep.Cells {
 			sink.Counter("horus_torture_cells_total",
 				"scheme", c.Scheme.String(), "flavor", c.Flavor.String(), "outcome", c.Outcome.String()).Add(1)
+			if c.Outcome == OutcomeDetected && c.Forensic != nil {
+				sink.Histogram("horus_recovery_detect_latency_blocks", obs.CountBuckets,
+					"scheme", c.Scheme.String(), "model", c.Flavor.String()).Observe(float64(c.Forensic.BlocksScanned))
+				sink.Histogram("horus_recovery_detect_latency_ps", obs.LatencyBuckets,
+					"scheme", c.Scheme.String(), "model", c.Flavor.String()).Observe(float64(c.Forensic.DetectLatencyPs))
+			}
 		}
 	}
 	if tsSink != nil {
@@ -341,6 +374,7 @@ func runTortureCell(cfg Config, scheme Scheme, w *Workload, plan faultinject.Cra
 		if recovery.IsDetection(drainErr) {
 			cell.Outcome = OutcomeDetected
 			cell.Detail = fmt.Sprintf("detected during drain: %v", drainErr)
+			cell.Forensic = ForensicFromError(drainErr, "drain")
 		} else {
 			cell.Outcome = OutcomeInternalError
 			cell.Detail = fmt.Sprintf("drain failed with untyped error: %v", drainErr)
@@ -363,6 +397,6 @@ func runTortureCell(cfg Config, scheme Scheme, w *Workload, plan faultinject.Cra
 		}
 	}
 
-	cell.Outcome, cell.Detail = classifyOutcome(ws.Core, ps, golden, blocks, atCut != nil)
+	cell.Outcome, cell.Detail, cell.Forensic = classifyOutcome(ws.Core, ps, golden, blocks, atCut != nil)
 	return cell
 }
