@@ -7,6 +7,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/obs/evlog"
 	"repro/internal/recovery"
+	"repro/internal/sim"
 )
 
 // classifyOutcome is the shared recovery oracle behind the torture matrix
@@ -21,8 +22,13 @@ import (
 // blocks scanned, provenance chain) and is nil for clean outcomes; cells
 // are private systems, so a chain-bounded flight recorder is attached
 // when the caller hasn't, making every detected cell explainable.
+//
+// The final return value is the simulated time the recovery path itself
+// consumed (vault restore plus CHV or baseline recovery) — the fleet
+// simulation schedules recovery storms from it, and it accumulates even
+// when the verdict is a detection partway through.
 func classifyOutcome(cs *core.System, ps PersistentState,
-	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic) {
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic, sim.Time) {
 	if cs.Evlog == nil {
 		cs.Evlog = evlog.New(evlog.DefaultChainLimit)
 	}
@@ -38,17 +44,23 @@ func classifyOutcome(cs *core.System, ps PersistentState,
 // refilling a machine would route reads through the secure controller and
 // conflate CHV verification with metadata-residue verification.
 func classifyHorusOutcome(cs *core.System, ps PersistentState,
-	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic) {
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic, sim.Time) {
 	cs.NVM.ResetStats()
 	cs.Sec.ResetStats()
+	var elapsed sim.Time
 	if ps.Vault.Count > 0 {
-		if _, err := recovery.RestoreMetadataVaultFor(cs, ps.Vault, ps.Scheme.String()); err != nil {
-			return classifyRecoveryError(err, "metadata vault")
+		vr, err := recovery.RestoreMetadataVaultFor(cs, ps.Vault, ps.Scheme.String())
+		elapsed += vr.RecoveryTime
+		if err != nil {
+			o, d, f := classifyRecoveryError(err, "metadata vault")
+			return o, d, f, elapsed
 		}
 	}
 	res, err := recovery.RecoverHorus(cs, ps)
+	elapsed += res.RecoveryTime
 	if err != nil {
-		return classifyRecoveryError(err, "CHV recovery")
+		o, d, f := classifyRecoveryError(err, "CHV recovery")
+		return o, d, f, elapsed
 	}
 	drained := make(map[uint64]bool, len(blocks))
 	for _, b := range blocks {
@@ -58,10 +70,10 @@ func classifyHorusOutcome(cs *core.System, ps PersistentState,
 	for _, b := range res.Blocks {
 		want, ok := golden[b.Addr]
 		if !ok || !drained[b.Addr] {
-			return OutcomeSilentCorruption, fmt.Sprintf("recovered block at %#x was never drained", b.Addr), nil
+			return OutcomeSilentCorruption, fmt.Sprintf("recovered block at %#x was never drained", b.Addr), nil, elapsed
 		}
 		if b.Data != want {
-			return OutcomeSilentCorruption, fmt.Sprintf("recovered wrong bytes at %#x with verified MACs", b.Addr), nil
+			return OutcomeSilentCorruption, fmt.Sprintf("recovered wrong bytes at %#x with verified MACs", b.Addr), nil, elapsed
 		}
 		recovered[b.Addr] = true
 	}
@@ -73,13 +85,13 @@ func classifyHorusOutcome(cs *core.System, ps PersistentState,
 	}
 	switch {
 	case missing == 0:
-		return OutcomeRestored, "", nil
+		return OutcomeRestored, "", nil, elapsed
 	case interrupted:
 		// Blocks past the crash point never reached the persistence
 		// domain: legitimately lost, and everything recovered verified.
-		return OutcomePartial, fmt.Sprintf("%d/%d blocks not persisted before the cut", missing, len(blocks)), nil
+		return OutcomePartial, fmt.Sprintf("%d/%d blocks not persisted before the cut", missing, len(blocks)), nil, elapsed
 	default:
-		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks missing without error", missing, len(blocks)), nil
+		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks missing without error", missing, len(blocks)), nil, elapsed
 	}
 }
 
@@ -90,11 +102,14 @@ func classifyHorusOutcome(cs *core.System, ps PersistentState,
 // are real keyed functions in this simulator, so a verified non-golden
 // value is a stale authentic one, not forged bytes).
 func classifyBaselineOutcome(cs *core.System, ps PersistentState,
-	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic) {
+	golden map[uint64]mem.Block, blocks []DirtyBlock, interrupted bool) (CrashOutcome, string, *Forensic, sim.Time) {
 	cs.NVM.ResetStats()
 	cs.Sec.ResetStats()
-	if _, err := recovery.RecoverBaseline(cs, ps); err != nil {
-		return classifyRecoveryError(err, "baseline recovery")
+	br, err := recovery.RecoverBaseline(cs, ps)
+	elapsed := br.RecoveryTime
+	if err != nil {
+		o, d, f := classifyRecoveryError(err, "baseline recovery")
+		return o, d, f, elapsed
 	}
 	detected, stale := 0, 0
 	var first *Forensic
@@ -102,7 +117,7 @@ func classifyBaselineOutcome(cs *core.System, ps PersistentState,
 		got, _, err := cs.Sec.ReadBlock(0, b.Addr)
 		if err != nil {
 			if !recovery.IsDetection(err) {
-				return OutcomeInternalError, fmt.Sprintf("post-recovery read of %#x failed with untyped error: %v", b.Addr, err), nil
+				return OutcomeInternalError, fmt.Sprintf("post-recovery read of %#x failed with untyped error: %v", b.Addr, err), nil, elapsed
 			}
 			if first == nil {
 				// The probe sweep is this path's detection scan: blocks
@@ -119,13 +134,13 @@ func classifyBaselineOutcome(cs *core.System, ps PersistentState,
 	}
 	switch {
 	case detected == 0 && stale == 0:
-		return OutcomeRestored, "", nil
+		return OutcomeRestored, "", nil, elapsed
 	case detected > 0:
-		return OutcomeDetected, fmt.Sprintf("%d/%d blocks failed verification (typed)", detected, len(blocks)), first
+		return OutcomeDetected, fmt.Sprintf("%d/%d blocks failed verification (typed)", detected, len(blocks)), first, elapsed
 	case interrupted:
-		return OutcomePartial, fmt.Sprintf("%d/%d blocks at authentic pre-drain values", stale, len(blocks)), nil
+		return OutcomePartial, fmt.Sprintf("%d/%d blocks at authentic pre-drain values", stale, len(blocks)), nil, elapsed
 	default:
-		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks verified with stale values", stale, len(blocks)), nil
+		return OutcomeSilentCorruption, fmt.Sprintf("drain completed but %d/%d blocks verified with stale values", stale, len(blocks)), nil, elapsed
 	}
 }
 

@@ -36,10 +36,8 @@ func main() {
 		traceFile   = flag.String("access-trace", "", "write a CSV trace of every memory access to this file")
 		traceLimit  = flag.Int("access-trace-limit", 2_000_000, "maximum access-trace events retained (0 = unlimited)")
 		traceEnergy = flag.Bool("trace-energy", false, "print a sparkline of the energy drawdown over the drain (records time series)")
-		batteryCm3  = flag.Float64("battery-cm3", 0, "provisioned back-up battery volume in cm^3; with -battery-tech sets the hold-up energy budget and enables the drain SLOs")
-		batteryTech = flag.String("battery-tech", "supercap", "back-up battery technology: supercap | li-thin (Table III densities)")
-		batteryJ    = flag.Float64("battery-j", 0, "hold-up energy budget in joules (overrides -battery-cm3/-battery-tech)")
 	)
+	bf := cliutil.AddBatteryFlags("", "drain")
 	mf := cliutil.AddMetricsFlags()
 	tf := cliutil.AddTraceFlags()
 	pf := cliutil.AddProfileFlags()
@@ -68,13 +66,9 @@ func main() {
 	cfg.Metrics = tfl.EnsureRegistry(mf.Registry())
 	cfg.Timeline = tf.Recorder()
 
-	budgetJ := *batteryJ
-	if budgetJ <= 0 && *batteryCm3 > 0 {
-		b, ok := horus.BatteryBudgetJoules(*batteryCm3, *batteryTech)
-		if !ok {
-			fatal(fmt.Errorf("unknown battery tech %q (want supercap|li-thin)", *batteryTech))
-		}
-		budgetJ = b
+	budgetJ, err := bf.BudgetJoules()
+	if err != nil {
+		fatal(err)
 	}
 	cfg.BatteryJoules = budgetJ
 	cfg.Timeseries = tfl.Sampler()

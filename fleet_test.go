@@ -1,0 +1,194 @@
+package horus
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// testFleetConfig builds a 16-machine, 4-rack heterogeneous fleet over the
+// scaled-down TestConfig, with a rack outage early and a site-wide outage
+// later — the ISSUE's reference scenario.
+func testFleetConfig(t *testing.T) FleetConfig {
+	t.Helper()
+	f, err := cluster.Generate(cluster.GenerateOptions{Machines: 16, Racks: 4, Seed: 42})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sched, err := cluster.ParseSchedule("1ms:2ms:0,1; 10ms:1ms:all", 4)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	base := TestConfig()
+	base.WarmupWrites = 64
+	return FleetConfig{
+		Fleet:         f,
+		Base:          base,
+		Sessions:      64,
+		OpsPerSession: 8,
+		BaseOps:       64,
+		HorizonPs:     20_000_000_000, // 20 ms
+		Router:        cluster.RouteRoundRobin,
+		Failover:      true,
+		Schedule:      sched,
+		Loop:          cluster.LoopConfig{RackPowerW: 250, RecoverySlots: 4},
+	}
+}
+
+// TestFleetDeterminismAcrossWorkers is the tentpole determinism suite: a
+// fleet run must be byte-identical at any -parallel worker count — the
+// measured episodes (including per-machine NVM image hashes), the event
+// loop's verdict, the aggregated metrics, and the recorded time series.
+func TestFleetDeterminismAcrossWorkers(t *testing.T) {
+	run := func(parallel int) (*FleetReport, TimeseriesSnapshot) {
+		fc := testFleetConfig(t)
+		fc.Base.Timeseries = NewTimeseriesSampler(0, 0)
+		rep, err := RunFleet(context.Background(), fc, SweepOptions{Parallel: parallel})
+		if err != nil {
+			t.Fatalf("RunFleet(parallel=%d): %v", parallel, err)
+		}
+		return rep, fc.Base.Timeseries.Snapshot()
+	}
+	rep1, snap1 := run(1)
+	rep8, snap8 := run(8)
+
+	if !reflect.DeepEqual(rep1.Machines, rep8.Machines) {
+		t.Error("measured machines differ across worker counts")
+	}
+	for i := range rep1.Machines {
+		if rep1.Machines[i].ImageHash != rep8.Machines[i].ImageHash {
+			t.Errorf("machine %d NVM image hash differs: %#x vs %#x",
+				i, rep1.Machines[i].ImageHash, rep8.Machines[i].ImageHash)
+		}
+		if rep1.Machines[i].ImageHash == 0 {
+			t.Errorf("machine %d has an empty NVM image digest", i)
+		}
+	}
+	if !reflect.DeepEqual(rep1.Result, rep8.Result) {
+		t.Error("event-loop results differ across worker counts")
+	}
+	if !reflect.DeepEqual(rep1.Metrics, rep8.Metrics) {
+		t.Error("fleet metrics differ across worker counts")
+	}
+	if !reflect.DeepEqual(rep1.Routes, rep8.Routes) {
+		t.Error("routing stats differ across worker counts")
+	}
+	if !reflect.DeepEqual(snap1, snap8) {
+		t.Error("fleet time series differ across worker counts")
+	}
+}
+
+// TestFleetOracleNeverSilent is the recovery-storm oracle: every machine a
+// rack-level or site-wide outage catches must end the run restored,
+// partial or detected — never silently corrupted — and the fleet metrics
+// must be exported for /metrics and /timeseries.json.
+func TestFleetOracleNeverSilent(t *testing.T) {
+	fc := testFleetConfig(t)
+	fc.Base.Metrics = obs.NewRegistry()
+	fc.Base.Timeseries = NewTimeseriesSampler(0, 0)
+	rep, err := RunFleet(context.Background(), fc, SweepOptions{Parallel: 4})
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if len(rep.Machines) != 16 {
+		t.Fatalf("%d machines, want 16", len(rep.Machines))
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		for _, m := range fails {
+			t.Errorf("machine %s (%s): %s — %s", m.Spec.Name, m.Spec.Scheme, m.Outcome, m.Detail)
+		}
+	}
+	for _, m := range rep.Machines {
+		switch m.Outcome {
+		case OutcomeRestored, OutcomePartial, OutcomeDetected:
+		default:
+			t.Errorf("machine %s ended %v — a machine may never end silent", m.Spec.Name, m.Outcome)
+		}
+		if m.Run.DrainPs <= 0 {
+			t.Errorf("machine %s measured a degenerate drain: %d ps", m.Spec.Name, m.Run.DrainPs)
+		}
+		// Eager baselines vault nothing (metadata flushed in place), so only
+		// CHV schemes are guaranteed a positive recovery time.
+		if m.Spec.Scheme.UsesCHV() && m.Run.RecoverPs <= 0 {
+			t.Errorf("machine %s (%s) measured a degenerate recovery: %d ps",
+				m.Spec.Name, m.Spec.Scheme, m.Run.RecoverPs)
+		}
+		if m.Blocks == 0 {
+			t.Errorf("machine %s drained no blocks; the outage exercised nothing", m.Spec.Name)
+		}
+	}
+
+	// The first outage hits racks 0 and 1 (8 machines), the site-wide one
+	// all 16: every affected machine must have completed its cycle.
+	if got := rep.Result.Storms[0].Machines; got != 8 {
+		t.Errorf("rack outage caught %d machines, want 8", got)
+	}
+	if got := rep.Result.Storms[1].Machines; got != 16 {
+		t.Errorf("site-wide outage caught %d machines, want 16", got)
+	}
+	if want := 8 + 16; len(rep.Result.Cycles) != want {
+		t.Errorf("%d cycles, want %d", len(rep.Result.Cycles), want)
+	}
+	for _, tl := range rep.Result.Timelines {
+		if last := tl.Intervals[len(tl.Intervals)-1]; last.Phase != cluster.PhaseServe {
+			t.Errorf("machine %d left in %v after the storm", tl.Machine, last.Phase)
+		}
+	}
+
+	// Exported aggregates: the fleet quantiles are on the sampler (the
+	// /timeseries.json surface) and the SLO rules evaluate green.
+	snap := fc.Base.Timeseries.Snapshot()
+	for _, series := range []string{
+		"horus_fleet_ts_drain_p99_ps", "horus_fleet_ts_recover_p99_ps",
+		"horus_fleet_ts_storm_max_ps", "horus_fleet_ts_silent_total",
+		"horus_fleet_ts_up", "horus_fleet_ts_rack_energy_j",
+	} {
+		if len(snap.Find(series)) == 0 {
+			t.Errorf("series %s missing from the fleet sampler", series)
+		}
+	}
+	if slo := EvaluateSLO(FleetSLORules(0, 0), snap); !slo.Ok() {
+		t.Errorf("fleet oracle SLO violated:\n%s", slo.Table().String())
+	}
+	// A 1 ps storm budget must trip the SLO (the CLI's exit-2 path).
+	if slo := EvaluateSLO(FleetSLORules(1, 0), snap); slo.Ok() {
+		t.Error("1 ps storm budget did not trip the SLO")
+	}
+}
+
+// TestFleetRejectsTyped pins RunFleet's error contract: invalid fleets,
+// schedules and battery technologies fail fast with typed/explicit errors.
+func TestFleetRejectsTyped(t *testing.T) {
+	fc := testFleetConfig(t)
+	fc.Fleet.Machines[0].Banks = 0
+	if _, err := RunFleet(context.Background(), fc, SweepOptions{}); err == nil {
+		t.Error("invalid fleet accepted")
+	}
+	fc = testFleetConfig(t)
+	fc.Schedule[0].AtPs = -1
+	if _, err := RunFleet(context.Background(), fc, SweepOptions{}); err == nil {
+		t.Error("invalid schedule accepted")
+	}
+	fc = testFleetConfig(t)
+	fc.BatteryTech = "plutonium"
+	if _, err := RunFleet(context.Background(), fc, SweepOptions{}); err == nil {
+		t.Error("unknown battery tech accepted")
+	}
+}
+
+// TestFleetWorkloadNames pins the workload-spec surface the CLI validates
+// against.
+func TestFleetWorkloadNames(t *testing.T) {
+	for _, name := range FleetWorkloadNames() {
+		w, err := fleetWorkload(name, WorkloadConfig{Ops: 8, WorkingSet: 1 << 10, Seed: 1})
+		if err != nil || w == nil {
+			t.Errorf("fleetWorkload(%q): %v", name, err)
+		}
+	}
+	if _, err := fleetWorkload("bogus", WorkloadConfig{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

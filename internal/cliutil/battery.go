@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	horus "repro"
+)
+
+// BatteryFlags bundles the hold-up battery flags shared by horus-drain
+// (per-machine budget) and horus-fleet (per-rack budget): a provisioned
+// volume plus technology (Table III densities), or a direct joule override.
+type BatteryFlags struct {
+	Cm3    float64
+	Tech   string
+	Joules float64
+	prefix string
+}
+
+// AddBatteryFlags registers the battery flags on the default flag set;
+// call before flag.Parse. prefix namespaces the flags ("" gives
+// -battery-cm3/-battery-tech/-battery-j; "rack-" gives the rack-scoped
+// variants). scope appears in the help text ("drain", "rack").
+func AddBatteryFlags(prefix, scope string) *BatteryFlags {
+	bf := &BatteryFlags{prefix: prefix}
+	flag.Float64Var(&bf.Cm3, prefix+"battery-cm3", 0,
+		fmt.Sprintf("provisioned %s back-up battery volume in cm^3; with -%sbattery-tech sets the hold-up energy budget", scope, prefix))
+	flag.StringVar(&bf.Tech, prefix+"battery-tech", "supercap",
+		"back-up battery technology: supercap | li-thin (Table III densities)")
+	flag.Float64Var(&bf.Joules, prefix+"battery-j", 0,
+		fmt.Sprintf("%s hold-up energy budget in joules (overrides -%sbattery-cm3/-%sbattery-tech)", scope, prefix, prefix))
+	return bf
+}
+
+// BudgetJoules resolves the flags into a hold-up energy budget: the joule
+// override wins, else the volume is converted through the technology's
+// density. Zero when neither was given; an error names an unknown
+// technology.
+func (bf *BatteryFlags) BudgetJoules() (float64, error) {
+	if bf.Joules > 0 {
+		return bf.Joules, nil
+	}
+	if bf.Cm3 <= 0 {
+		return 0, nil
+	}
+	j, ok := horus.BatteryBudgetJoules(bf.Cm3, bf.Tech)
+	if !ok {
+		return 0, fmt.Errorf("unknown battery tech %q (want supercap|li-thin)", bf.Tech)
+	}
+	return j, nil
+}

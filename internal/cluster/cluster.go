@@ -1,0 +1,219 @@
+// Package cluster models a fleet of Horus machines under a shared clock:
+// heterogeneous machine specs (mixed schemes, LLC sizes, bank counts,
+// battery volumes, workload shapes), rack-structured outage schedules,
+// pluggable request routing with outage-aware admission, and a
+// deterministic event loop that plays out rack-level power failures —
+// simultaneous drains competing for a shared rack power budget, then a
+// recovery storm gated by fleet-wide recovery slots.
+//
+// The package follows the repo's measure-then-schedule split: per-machine
+// drain and recovery durations are measured independently (the root
+// package runs each machine as a sweep episode, so measurements are
+// byte-identical at any worker count), and the event loop then plays the
+// fleet-level contention out serially from those measured durations. The
+// loop itself performs no simulation and no floating-point scheduling
+// decisions beyond power-budget sums, so a fleet run is a pure function
+// of (fleet, schedule, measurements).
+//
+// Determinism contract (mirrors internal/sweep): machine iteration is
+// always in machine-ID order, rack iteration in ascending rack order,
+// event ties break by insertion sequence, and no map is ever ranged over
+// where order reaches the output.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// MachineSpec describes one machine of a simulated fleet. Specs are pure
+// data: the root package turns a spec into a full simulated machine, the
+// cluster loop only reads the identity fields.
+type MachineSpec struct {
+	// ID is the machine's index in the fleet, dense from 0. Machine
+	// iteration order everywhere in this package is ID order.
+	ID int
+	// Name labels the machine in reports ("m03").
+	Name string
+	// Rack is the power domain the machine shares with its rack mates: a
+	// rack-level outage cuts power to every machine of the rack, and the
+	// rack's drain power budget gates how many of them drain at once.
+	Rack int
+	// Scheme is the machine's drain design. The recovery oracle requires
+	// a secure scheme (NonSecure has no MACs, nothing can be detected),
+	// so Validate rejects non-secure members.
+	Scheme core.Scheme
+	// LLCBytes sizes the machine's last-level cache; the drain length
+	// scales with it.
+	LLCBytes int
+	// Banks is the NVM bank count (drain parallelism inside the machine).
+	Banks int
+	// BatteryCm3 is the machine's provisioned back-up volume (Table III);
+	// it sizes the per-machine hold-up budget the drain races against.
+	BatteryCm3 float64
+	// Workload names the pre-outage workload shape (kv, txlog, zipf,
+	// uniform, sequential, graph).
+	Workload string
+	// Seed is the machine's private stream seed, derived from the fleet
+	// seed via sweep.DeriveSeed(base, ID) so machine streams are
+	// collision-free and independent of generation order.
+	Seed int64
+}
+
+// Fleet is a validated set of machines partitioned into racks.
+type Fleet struct {
+	Machines []MachineSpec
+	// Racks is the number of power domains; machine Rack fields lie in
+	// [0, Racks).
+	Racks int
+}
+
+// ConfigError is the typed error every invalid fleet or generation option
+// reports. Fuzzing relies on the contract: cluster configuration never
+// panics and never fails with an untyped error.
+type ConfigError struct {
+	Field  string // the offending field ("Machines", "machine[3].Banks", ...)
+	Detail string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("cluster: invalid config: %s: %s", e.Field, e.Detail)
+}
+
+// Validate checks the fleet invariants: at least one machine, dense IDs in
+// order, racks in range, secure schemes, positive cache/bank sizes.
+func (f *Fleet) Validate() error {
+	if f == nil {
+		return &ConfigError{Field: "Fleet", Detail: "nil fleet"}
+	}
+	if f.Racks < 1 {
+		return &ConfigError{Field: "Racks", Detail: fmt.Sprintf("must be >= 1, got %d", f.Racks)}
+	}
+	if len(f.Machines) == 0 {
+		return &ConfigError{Field: "Machines", Detail: "fleet has no machines"}
+	}
+	for i, m := range f.Machines {
+		field := func(name string) string { return fmt.Sprintf("machine[%d].%s", i, name) }
+		if m.ID != i {
+			return &ConfigError{Field: field("ID"), Detail: fmt.Sprintf("IDs must be dense and ordered, got %d at index %d", m.ID, i)}
+		}
+		if m.Rack < 0 || m.Rack >= f.Racks {
+			return &ConfigError{Field: field("Rack"), Detail: fmt.Sprintf("rack %d outside [0, %d)", m.Rack, f.Racks)}
+		}
+		if !m.Scheme.Secure() {
+			return &ConfigError{Field: field("Scheme"), Detail: fmt.Sprintf("%v is not secure; the recovery oracle needs MACs to classify outcomes", m.Scheme)}
+		}
+		if m.LLCBytes < 4<<10 {
+			return &ConfigError{Field: field("LLCBytes"), Detail: fmt.Sprintf("LLC must be at least 4 KB, got %d", m.LLCBytes)}
+		}
+		if m.Banks < 1 || m.Banks > 1024 {
+			return &ConfigError{Field: field("Banks"), Detail: fmt.Sprintf("banks must be in [1, 1024], got %d", m.Banks)}
+		}
+		if m.BatteryCm3 < 0 {
+			return &ConfigError{Field: field("BatteryCm3"), Detail: fmt.Sprintf("battery volume must be >= 0, got %g", m.BatteryCm3)}
+		}
+		if m.Workload == "" {
+			return &ConfigError{Field: field("Workload"), Detail: "workload shape must be named"}
+		}
+	}
+	return nil
+}
+
+// RackMembers returns the IDs of the machines in rack r, in ID order.
+func (f *Fleet) RackMembers(r int) []int {
+	var out []int
+	for _, m := range f.Machines {
+		if m.Rack == r {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// GenerateOptions parameterises Generate. Zero-valued list fields select
+// the defaults below; Machines, Racks and Seed have no defaults.
+type GenerateOptions struct {
+	Machines int
+	Racks    int
+	// Seed roots the per-machine seed derivation
+	// (sweep.DeriveSeed(Seed, ID)).
+	Seed int64
+	// Schemes cycles across machines; default: the four secure designs.
+	Schemes []core.Scheme
+	// LLCBytes cycles across machines; default: 128 KB, 256 KB, 512 KB.
+	LLCBytes []int
+	// Banks cycles across machines; default: 8, 16, 32.
+	Banks []int
+	// BatteryCm3 cycles across machines; default: 1e-5, 2e-5, 4e-5 cm^3
+	// of SuperCap — test-scale volumes matching TestConfig drain energies.
+	BatteryCm3 []float64
+	// Workloads cycles across machines; default: uniform, kv, txlog, zipf.
+	Workloads []string
+}
+
+// Generate builds a heterogeneous fleet: machines are assigned round-robin
+// to racks and attribute lists cycle at coprime-ish strides so a 16-machine
+// fleet covers every scheme, several LLC sizes, bank counts, battery
+// volumes and workload shapes. Generation is a pure function of the
+// options: per-machine seeds derive from (Seed, ID), never from a shared
+// stream, so adding or reordering machines cannot perturb the others.
+func Generate(opts GenerateOptions) (*Fleet, error) {
+	if opts.Machines < 1 {
+		return nil, &ConfigError{Field: "Machines", Detail: fmt.Sprintf("must be >= 1, got %d", opts.Machines)}
+	}
+	if opts.Machines > 4096 {
+		return nil, &ConfigError{Field: "Machines", Detail: fmt.Sprintf("must be <= 4096, got %d", opts.Machines)}
+	}
+	if opts.Racks < 1 {
+		return nil, &ConfigError{Field: "Racks", Detail: fmt.Sprintf("must be >= 1, got %d", opts.Racks)}
+	}
+	if opts.Racks > opts.Machines {
+		return nil, &ConfigError{Field: "Racks", Detail: fmt.Sprintf("%d racks for %d machines leaves empty racks", opts.Racks, opts.Machines)}
+	}
+	schemes := opts.Schemes
+	if len(schemes) == 0 {
+		schemes = []core.Scheme{core.BaseLU, core.BaseEU, core.HorusSLM, core.HorusDLM}
+	}
+	for i, s := range schemes {
+		if !s.Secure() {
+			return nil, &ConfigError{Field: fmt.Sprintf("Schemes[%d]", i), Detail: fmt.Sprintf("%v is not secure", s)}
+		}
+	}
+	llcs := opts.LLCBytes
+	if len(llcs) == 0 {
+		llcs = []int{128 << 10, 256 << 10, 512 << 10}
+	}
+	banks := opts.Banks
+	if len(banks) == 0 {
+		banks = []int{8, 16, 32}
+	}
+	batteries := opts.BatteryCm3
+	if len(batteries) == 0 {
+		batteries = []float64{1e-5, 2e-5, 4e-5}
+	}
+	workloads := opts.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"uniform", "kv", "txlog", "zipf"}
+	}
+
+	f := &Fleet{Racks: opts.Racks, Machines: make([]MachineSpec, opts.Machines)}
+	for id := 0; id < opts.Machines; id++ {
+		f.Machines[id] = MachineSpec{
+			ID:         id,
+			Name:       fmt.Sprintf("m%02d", id),
+			Rack:       id % opts.Racks,
+			Scheme:     schemes[id%len(schemes)],
+			LLCBytes:   llcs[id%len(llcs)],
+			Banks:      banks[id%len(banks)],
+			BatteryCm3: batteries[id%len(batteries)],
+			Workload:   workloads[id%len(workloads)],
+			Seed:       sweep.DeriveSeed(opts.Seed, id),
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

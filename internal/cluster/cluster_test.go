@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+func TestGenerateHeterogeneity(t *testing.T) {
+	f, err := Generate(GenerateOptions{Machines: 16, Racks: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("generated fleet invalid: %v", err)
+	}
+	schemes := map[core.Scheme]bool{}
+	llcs := map[int]bool{}
+	banks := map[int]bool{}
+	workloads := map[string]bool{}
+	racks := map[int]int{}
+	for _, m := range f.Machines {
+		schemes[m.Scheme] = true
+		llcs[m.LLCBytes] = true
+		banks[m.Banks] = true
+		workloads[m.Workload] = true
+		racks[m.Rack]++
+	}
+	if len(schemes) != 4 {
+		t.Errorf("16 machines cover %d schemes, want 4", len(schemes))
+	}
+	if len(llcs) != 3 || len(banks) != 3 || len(workloads) != 4 {
+		t.Errorf("attribute coverage: llcs=%d banks=%d workloads=%d, want 3/3/4", len(llcs), len(banks), len(workloads))
+	}
+	for r := 0; r < 4; r++ {
+		if racks[r] != 4 {
+			t.Errorf("rack %d has %d machines, want 4", r, racks[r])
+		}
+	}
+}
+
+// TestGenerateSeedStability pins the per-machine seed derivation: every
+// machine's stream seed is sweep.DeriveSeed(base, ID) — collision-free
+// across a large fleet and independent of how many machines are generated
+// (order-independence: a prefix fleet has byte-identical specs).
+func TestGenerateSeedStability(t *testing.T) {
+	big, err := Generate(GenerateOptions{Machines: 4096, Racks: 8, Seed: 42})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	seen := map[int64]int{}
+	for _, m := range big.Machines {
+		if m.Seed != sweep.DeriveSeed(42, m.ID) {
+			t.Fatalf("machine %d seed %#x is not DeriveSeed(42, %d)", m.ID, m.Seed, m.ID)
+		}
+		if prev, dup := seen[m.Seed]; dup {
+			t.Fatalf("seed collision: machines %d and %d both got %#x", prev, m.ID, m.Seed)
+		}
+		seen[m.Seed] = m.ID
+	}
+	small, err := Generate(GenerateOptions{Machines: 16, Racks: 8, Seed: 42})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if !reflect.DeepEqual(small.Machines, big.Machines[:16]) {
+		t.Error("fleet prefix differs: generation is not order-independent")
+	}
+}
+
+func TestGenerateRejectsTyped(t *testing.T) {
+	cases := []GenerateOptions{
+		{Machines: 0, Racks: 1},
+		{Machines: 4, Racks: 0},
+		{Machines: 4, Racks: 5},
+		{Machines: 5000, Racks: 1},
+		{Machines: 4, Racks: 2, Schemes: []core.Scheme{core.NonSecure}},
+	}
+	for i, opts := range cases {
+		_, err := Generate(opts)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("case %d: got %v, want *ConfigError", i, err)
+		}
+	}
+}
+
+func TestFleetValidateTyped(t *testing.T) {
+	base := func() *Fleet {
+		f, err := Generate(GenerateOptions{Machines: 4, Racks: 2, Seed: 1})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		return f
+	}
+	mutations := []func(*Fleet){
+		func(f *Fleet) { f.Machines = nil },
+		func(f *Fleet) { f.Racks = 0 },
+		func(f *Fleet) { f.Machines[2].ID = 7 },
+		func(f *Fleet) { f.Machines[1].Rack = 9 },
+		func(f *Fleet) { f.Machines[0].Scheme = core.NonSecure },
+		func(f *Fleet) { f.Machines[3].LLCBytes = 16 },
+		func(f *Fleet) { f.Machines[3].Banks = 0 },
+		func(f *Fleet) { f.Machines[2].BatteryCm3 = -1 },
+		func(f *Fleet) { f.Machines[1].Workload = "" },
+	}
+	for i, mutate := range mutations {
+		f := base()
+		mutate(f)
+		var ce *ConfigError
+		if err := f.Validate(); !errors.As(err, &ce) {
+			t.Errorf("mutation %d: got %v, want *ConfigError", i, err)
+		}
+	}
+	var nilFleet *Fleet
+	var ce *ConfigError
+	if err := nilFleet.Validate(); !errors.As(err, &ce) {
+		t.Error("nil fleet must fail typed")
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	s, err := ParseSchedule("2ms:5ms:all; 12ms:1ms:0,2", 4)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("parsed %d outages, want 2", len(s))
+	}
+	if s[0].AtPs != 2e9 || s[0].DurationPs != 5e9 || s[0].Racks != nil {
+		t.Errorf("outage 0: %+v", s[0])
+	}
+	if s[1].AtPs != 12e9 || !reflect.DeepEqual(s[1].Racks, []int{0, 2}) {
+		t.Errorf("outage 1: %+v", s[1])
+	}
+	if !s.DarkAt(1, 3e9) || s.DarkAt(1, 8e9) {
+		t.Error("DarkAt windows wrong")
+	}
+	// Rack 1 is dark only during the site-wide outage.
+	if s.DarkAt(1, 12_500_000_000) {
+		t.Error("rack 1 dark during rack-0,2 outage")
+	}
+
+	bad := []string{
+		"", "nonsense", "2ms:5ms", "x:5ms:all", "2ms:y:all", "2ms:5ms:9",
+		"2ms:5ms:2,1,1", "2ms:5ms:all;3ms:1ms:all", "-2ms:5ms:all",
+	}
+	for _, spec := range bad {
+		var se *ScheduleError
+		if _, err := ParseSchedule(spec, 4); !errors.As(err, &se) {
+			t.Errorf("ParseSchedule(%q): got %v, want *ScheduleError", spec, err)
+		}
+	}
+}
+
+func TestScheduleValidateOverlap(t *testing.T) {
+	s := Schedule{{AtPs: 0, DurationPs: 100}, {AtPs: 50, DurationPs: 10, Racks: []int{1}}}
+	var se *ScheduleError
+	if err := s.Validate(2); !errors.As(err, &se) {
+		t.Errorf("overlapping outages on rack 1: got %v, want *ScheduleError", s.Validate(2))
+	}
+	// Zero-duration blip at the exact end instant of the previous window
+	// still overlaps (the previous outage's restore lands at the same
+	// instant); one picosecond later is fine.
+	ok := Schedule{{AtPs: 0, DurationPs: 100}, {AtPs: 101, DurationPs: 0}}
+	if err := ok.Validate(2); err != nil {
+		t.Errorf("sequential outages rejected: %v", err)
+	}
+}
+
+func TestRouteSessions(t *testing.T) {
+	f, err := Generate(GenerateOptions{Machines: 4, Racks: 2, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// No outages: round-robin deals evenly, nothing fails over.
+	rs := RouteSessions(f, nil, 100, 1000, RouteRoundRobin, true, 7)
+	if rs.Routed != 100 || rs.FailedOver != 0 || rs.Rejected != 0 {
+		t.Errorf("round-robin: %+v", rs)
+	}
+	for id, n := range rs.Sessions {
+		if n != 25 {
+			t.Errorf("machine %d got %d sessions, want 25", id, n)
+		}
+	}
+	// Least-loaded also balances exactly.
+	ll := RouteSessions(f, nil, 100, 1000, RouteLeastLoaded, true, 7)
+	for id, n := range ll.Sessions {
+		if n != 25 {
+			t.Errorf("least-loaded machine %d got %d, want 25", id, n)
+		}
+	}
+	// Hash is deterministic and admits everything when the fleet is up.
+	h1 := RouteSessions(f, nil, 100, 1000, RouteHash, true, 7)
+	h2 := RouteSessions(f, nil, 100, 1000, RouteHash, true, 7)
+	if !reflect.DeepEqual(h1, h2) {
+		t.Error("hash routing not deterministic")
+	}
+	if h1.Total() != 100 {
+		t.Errorf("hash admitted %d, want 100", h1.Total())
+	}
+
+	// Rack 0 (machines 0 and 2) dark for the whole horizon: failover
+	// reroutes onto rack 1, rejection drops.
+	dark := Schedule{{AtPs: 0, DurationPs: 1000, Racks: []int{0}}}
+	fo := RouteSessions(f, dark, 100, 1000, RouteRoundRobin, true, 7)
+	if fo.Sessions[0] != 0 || fo.Sessions[2] != 0 {
+		t.Errorf("failover left sessions on dark machines: %v", fo.Sessions)
+	}
+	if fo.FailedOver != 50 || fo.Routed != 50 || fo.Rejected != 0 {
+		t.Errorf("failover stats: %+v", fo)
+	}
+	rj := RouteSessions(f, dark, 100, 1000, RouteRoundRobin, false, 7)
+	if rj.Rejected != 50 || rj.Routed != 50 {
+		t.Errorf("reject stats: %+v", rj)
+	}
+	// Site-wide outage with failover: nowhere to go.
+	all := Schedule{{AtPs: 0, DurationPs: 1000}}
+	none := RouteSessions(f, all, 10, 1000, RouteHash, true, 7)
+	if none.Rejected != 10 {
+		t.Errorf("site-wide outage admitted sessions: %+v", none)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]RoutePolicy{
+		"rr": RouteRoundRobin, "round-robin": RouteRoundRobin,
+		"hash": RouteHash, "least": RouteLeastLoaded, "least-loaded": RouteLeastLoaded,
+	} {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted bogus policy")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	if got := Quantile(nil, 0.99); got != 0 {
+		t.Errorf("empty quantile = %d", got)
+	}
+	if got := Quantile([]int64{7}, 0.5); got != 7 {
+		t.Errorf("singleton p50 = %d", got)
+	}
+	vals := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if got := Quantile(vals, 0.5); got != 50 {
+		t.Errorf("p50 = %d, want 50", got)
+	}
+	if got := Quantile(vals, 0.99); got != 100 {
+		t.Errorf("p99 = %d, want 100", got)
+	}
+	if got := Quantile(vals, 0); got != 10 {
+		t.Errorf("p0 = %d, want 10", got)
+	}
+	if got := Quantile(vals, 1); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	// Quantile must not mutate its input.
+	shuffled := []int64{5, 1, 3}
+	_ = Quantile(shuffled, 0.5)
+	if !reflect.DeepEqual(shuffled, []int64{5, 1, 3}) {
+		t.Error("Quantile mutated its input")
+	}
+}

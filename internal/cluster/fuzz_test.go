@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzClusterConfig drives Generate, Validate and the event loop with
+// arbitrary knobs: every input either yields a fleet the loop can run to
+// completion or a typed *ConfigError — never a panic, never an untyped
+// error. Mirrors FuzzRecoverHorus's contract at fleet scope.
+func FuzzClusterConfig(f *testing.F) {
+	f.Add(16, 4, int64(42), uint8(2), 100, 50, int64(200))
+	f.Add(1, 1, int64(0), uint8(0), 0, 0, int64(0))
+	f.Add(64, 3, int64(-7), uint8(9), -5, 1, int64(1))
+	f.Add(0, 0, int64(1), uint8(1), 10, 10, int64(10))
+	f.Fuzz(func(t *testing.T, machines, racks int, seed int64, scheme uint8, powerW, slots int, darkPs int64) {
+		fl, err := Generate(GenerateOptions{
+			Machines: machines, Racks: racks, Seed: seed,
+			Schemes: []core.Scheme{core.Scheme(scheme % 5)},
+		})
+		if err != nil {
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Generate returned untyped error: %v", err)
+			}
+			return
+		}
+		if err := fl.Validate(); err != nil {
+			t.Fatalf("Generate produced an invalid fleet: %v", err)
+		}
+		runs := make([]MachineRun, len(fl.Machines))
+		for i := range runs {
+			runs[i] = MachineRun{
+				DrainPs:      int64(10 + (i*7)%90),
+				DrainEnergyJ: 1e-9 * float64(1+i%4),
+				RecoverPs:    int64(5 + (i*3)%40),
+				Outcome:      "restored",
+			}
+		}
+		if darkPs < 0 {
+			darkPs = -darkPs
+		}
+		sched := Schedule{{AtPs: 0, DurationPs: darkPs % 1_000_000}}
+		cfg := LoopConfig{RackPowerW: float64(powerW), RecoverySlots: slots}
+		res, err := Run(fl, cfg, runs, sched, nil)
+		if err != nil {
+			t.Fatalf("Run rejected a valid fleet: %v", err)
+		}
+		// Oracle invariant under fuzz: every machine the outage caught is
+		// back serving, with a coherent cycle.
+		if len(res.Cycles) != res.Storms[0].Machines {
+			t.Fatalf("%d cycles for %d affected machines", len(res.Cycles), res.Storms[0].Machines)
+		}
+		for _, tl := range res.Timelines {
+			if last := tl.Intervals[len(tl.Intervals)-1]; last.Phase != PhaseServe {
+				t.Fatalf("machine %d left in %v", tl.Machine, last.Phase)
+			}
+		}
+	})
+}
+
+// FuzzOutageSchedule throws arbitrary text at the schedule parser and
+// arbitrary windows at the validator: outputs are either valid schedules
+// (which the loop then survives) or typed *ScheduleError — never a panic.
+func FuzzOutageSchedule(f *testing.F) {
+	f.Add("2ms:5ms:all", 4)
+	f.Add("0s:0s:0; 1ms:1ms:1,3", 4)
+	f.Add("", 1)
+	f.Add("x:y:z;;;", 0)
+	f.Add("1ns:1ns:all;1ns:1ns:all", 2)
+	f.Add("9999999h:1ms:0", 1)
+	f.Fuzz(func(t *testing.T, spec string, racks int) {
+		if racks < 0 {
+			racks = -racks
+		}
+		racks = racks%8 + 1
+		sched, err := ParseSchedule(spec, racks)
+		if err != nil {
+			var se *ScheduleError
+			if !errors.As(err, &se) {
+				t.Fatalf("ParseSchedule(%q) returned untyped error: %v", spec, err)
+			}
+			return
+		}
+		if err := sched.Validate(racks); err != nil {
+			t.Fatalf("parsed schedule fails its own validation: %v", err)
+		}
+		// A parsed schedule must be runnable on a matching fleet.
+		fl, err := Generate(GenerateOptions{Machines: racks, Racks: racks, Seed: 1})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		runs := make([]MachineRun, racks)
+		for i := range runs {
+			runs[i] = MachineRun{DrainPs: 20, DrainEnergyJ: 1e-9, RecoverPs: 10, Outcome: "restored"}
+		}
+		if _, err := Run(fl, LoopConfig{RecoverySlots: 1}, runs, sched, nil); err != nil {
+			t.Fatalf("Run rejected parsed schedule %q: %v", spec, err)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs/timeseries"
+)
+
+// testFleet builds a tiny validated fleet: n machines over r racks.
+func testFleet(t *testing.T, n, r int) *Fleet {
+	t.Helper()
+	f, err := Generate(GenerateOptions{Machines: n, Racks: r, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate(%d, %d): %v", n, r, err)
+	}
+	return f
+}
+
+// flatRuns builds identical measured episodes: drain 100 ps at 100 W
+// average power, recovery 40 ps.
+func flatRuns(n int) []MachineRun {
+	runs := make([]MachineRun, n)
+	for i := range runs {
+		runs[i] = MachineRun{DrainPs: 100, DrainEnergyJ: 1e-8, RecoverPs: 40, Outcome: "restored"}
+	}
+	return runs
+}
+
+// TestLoopSerialisesDrainsUnderPowerBudget pins the rack power budget: two
+// 100 W drains under a 150 W cap must run one after the other, and the
+// storm then serialises the recoveries under one recovery slot.
+func TestLoopSerialisesDrainsUnderPowerBudget(t *testing.T) {
+	f := testFleet(t, 2, 1)
+	runs := flatRuns(2)
+	sched := Schedule{{AtPs: 0, DurationPs: 1000}}
+	res, err := Run(f, LoopConfig{RackPowerW: 150, RecoverySlots: 1}, runs, sched, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cycles) != 2 {
+		t.Fatalf("%d cycles, want 2", len(res.Cycles))
+	}
+	c0, c1 := res.Cycles[0], res.Cycles[1]
+	if c0.DrainStartPs != 0 || c0.DrainEndPs != 100 {
+		t.Errorf("machine 0 drain [%d, %d], want [0, 100]", c0.DrainStartPs, c0.DrainEndPs)
+	}
+	if c1.DrainStartPs != 100 || c1.DrainEndPs != 200 {
+		t.Errorf("machine 1 drain [%d, %d], want [100, 200] (power budget must serialise)", c1.DrainStartPs, c1.DrainEndPs)
+	}
+	if res.Storms[0].PeakDrains != 1 {
+		t.Errorf("peak drains %d, want 1", res.Storms[0].PeakDrains)
+	}
+	if res.Storms[0].DrainMakespanPs != 200 {
+		t.Errorf("drain makespan %d, want 200", res.Storms[0].DrainMakespanPs)
+	}
+	// Power back at 1000; one slot: recoveries at [1000,1040] and [1040,1080].
+	if c0.RecoverStartPs != 1000 || c0.RecoverEndPs != 1040 {
+		t.Errorf("machine 0 recovery [%d, %d], want [1000, 1040]", c0.RecoverStartPs, c0.RecoverEndPs)
+	}
+	if c1.RecoverStartPs != 1040 || c1.RecoverEndPs != 1080 {
+		t.Errorf("machine 1 recovery [%d, %d], want [1040, 1080] (slot must serialise)", c1.RecoverStartPs, c1.RecoverEndPs)
+	}
+	if res.Storms[0].StormPs != 80 {
+		t.Errorf("storm %d ps, want 80", res.Storms[0].StormPs)
+	}
+	if res.EndPs != 1080 {
+		t.Errorf("end %d, want 1080", res.EndPs)
+	}
+}
+
+// TestLoopUncappedRunsConcurrently is the control: without budgets both
+// machines drain at once and recover at once.
+func TestLoopUncappedRunsConcurrently(t *testing.T) {
+	f := testFleet(t, 2, 1)
+	res, err := Run(f, LoopConfig{}, flatRuns(2), Schedule{{AtPs: 0, DurationPs: 1000}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, c := range res.Cycles {
+		if c.DrainStartPs != 0 || c.DrainEndPs != 100 {
+			t.Errorf("machine %d drain [%d, %d], want concurrent [0, 100]", i, c.DrainStartPs, c.DrainEndPs)
+		}
+		if c.RecoverStartPs != 1000 || c.RecoverEndPs != 1040 {
+			t.Errorf("machine %d recovery [%d, %d], want concurrent [1000, 1040]", i, c.RecoverStartPs, c.RecoverEndPs)
+		}
+	}
+	if res.Storms[0].PeakDrains != 2 {
+		t.Errorf("peak drains %d, want 2", res.Storms[0].PeakDrains)
+	}
+	if res.Storms[0].StormPs != 40 {
+		t.Errorf("storm %d, want 40", res.Storms[0].StormPs)
+	}
+}
+
+// TestLoopOverBudgetMachineStillAdmitted pins the no-deadlock guarantee: a
+// machine whose own draw exceeds the rack budget is admitted when the rack
+// is idle.
+func TestLoopOverBudgetMachineStillAdmitted(t *testing.T) {
+	f := testFleet(t, 1, 1)
+	res, err := Run(f, LoopConfig{RackPowerW: 1}, flatRuns(1), Schedule{{AtPs: 0, DurationPs: 500}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cycles) != 1 || res.Cycles[0].DrainStartPs != 0 {
+		t.Fatalf("over-budget machine was not admitted: %+v", res.Cycles)
+	}
+}
+
+// TestLoopPowerBlip pins zero-duration outages: power is back immediately
+// but the triggered drain runs to completion, and the machine then
+// recovers straight away — the storm includes the drain tail.
+func TestLoopPowerBlip(t *testing.T) {
+	f := testFleet(t, 1, 1)
+	res, err := Run(f, LoopConfig{}, flatRuns(1), Schedule{{AtPs: 50, DurationPs: 0}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	c := res.Cycles[0]
+	if c.DrainStartPs != 50 || c.DrainEndPs != 150 {
+		t.Errorf("blip drain [%d, %d], want [50, 150]", c.DrainStartPs, c.DrainEndPs)
+	}
+	if c.RecoverStartPs != 150 || c.RecoverEndPs != 190 {
+		t.Errorf("blip recovery [%d, %d], want [150, 190] (no dark wait)", c.RecoverStartPs, c.RecoverEndPs)
+	}
+	// Storm measured from the restore instant (50): drain tail included.
+	if res.Storms[0].StormPs != 140 {
+		t.Errorf("blip storm %d, want 140", res.Storms[0].StormPs)
+	}
+	// No machine ever sat in PhaseDown.
+	for _, iv := range res.Timelines[0].Intervals {
+		if iv.Phase == PhaseDown {
+			t.Errorf("blip produced a dark interval: %+v", iv)
+		}
+	}
+}
+
+// TestLoopSecondOutageSkipsBusyMachines pins re-outage semantics: an
+// outage hitting a machine still mid-cycle skips it, and one hitting a
+// recovered machine drains it again.
+func TestLoopSecondOutageSkipsBusyMachines(t *testing.T) {
+	f := testFleet(t, 1, 1)
+	// First outage holds the machine dark until 1000; second fires at 500
+	// while it is down — skipped. Third at 2000 catches it serving again.
+	// Note outages 1 and 2 overlap on the rack, so build them apart:
+	sched := Schedule{
+		{AtPs: 0, DurationPs: 1000},
+		{AtPs: 2000, DurationPs: 100},
+	}
+	res, err := Run(f, LoopConfig{}, flatRuns(1), sched, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cycles) != 2 {
+		t.Fatalf("%d cycles, want 2 (machine must re-drain on the second outage)", len(res.Cycles))
+	}
+	if res.Cycles[1].OutageAtPs != 2000 || res.Cycles[1].DrainEndPs != 2100 {
+		t.Errorf("second cycle: %+v", res.Cycles[1])
+	}
+
+	// An outage landing mid-recovery is skipped. First outage restores at
+	// 200; recovery runs [200, 240); second outage at 220.
+	sched = Schedule{
+		{AtPs: 0, DurationPs: 200},
+		{AtPs: 220, DurationPs: 10},
+	}
+	res, err = Run(f, LoopConfig{}, flatRuns(1), sched, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cycles) != 1 {
+		t.Fatalf("%d cycles, want 1 (mid-recovery outage must be skipped)", len(res.Cycles))
+	}
+	if res.Storms[1].Skipped != 1 || res.Storms[1].Machines != 0 {
+		t.Errorf("second storm: %+v", res.Storms[1])
+	}
+}
+
+// TestLoopRackIsolation pins the power-domain boundary: an outage on rack
+// 0 leaves rack 1's machines serving end to end.
+func TestLoopRackIsolation(t *testing.T) {
+	f := testFleet(t, 4, 2) // machines 0,2 on rack 0; 1,3 on rack 1
+	res, err := Run(f, LoopConfig{}, flatRuns(4), Schedule{{AtPs: 0, DurationPs: 500, Racks: []int{0}}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cycles) != 2 {
+		t.Fatalf("%d cycles, want 2 (only rack 0 machines)", len(res.Cycles))
+	}
+	for _, c := range res.Cycles {
+		if f.Machines[c.Machine].Rack != 0 {
+			t.Errorf("machine %d of rack %d drained on a rack-0 outage", c.Machine, f.Machines[c.Machine].Rack)
+		}
+	}
+	for _, id := range []int{1, 3} {
+		ivs := res.Timelines[id].Intervals
+		if len(ivs) != 1 || ivs[0].Phase != PhaseServe {
+			t.Errorf("rack-1 machine %d did not serve throughout: %+v", id, ivs)
+		}
+	}
+	if res.RackEnergyJ[1] != 0 {
+		t.Errorf("rack 1 drew %g J without an outage", res.RackEnergyJ[1])
+	}
+}
+
+// TestLoopEnergyAccounting pins drawdown and the battery-budget flag.
+func TestLoopEnergyAccounting(t *testing.T) {
+	f := testFleet(t, 2, 1)
+	runs := flatRuns(2)
+	res, err := Run(f, LoopConfig{RackBatteryJ: 1.5e-8}, runs, Schedule{{AtPs: 0, DurationPs: 1000}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := res.RackEnergyJ[0]; got != 2e-8 {
+		t.Errorf("rack energy %g, want 2e-8", got)
+	}
+	if !reflect.DeepEqual(res.BatteryExceeded, []int{0}) {
+		t.Errorf("BatteryExceeded = %v, want [0]", res.BatteryExceeded)
+	}
+}
+
+// TestLoopDeterministic pins the loop's pure-function contract, including
+// the recorded fleet series.
+func TestLoopDeterministic(t *testing.T) {
+	f := testFleet(t, 8, 2)
+	runs := make([]MachineRun, 8)
+	for i := range runs {
+		runs[i] = MachineRun{DrainPs: int64(50 + 17*i), DrainEnergyJ: 1e-9 * float64(i+1), RecoverPs: int64(30 + 11*i), Outcome: "restored"}
+	}
+	sched := Schedule{{AtPs: 0, DurationPs: 400, Racks: []int{0}}, {AtPs: 1000, DurationPs: 0}}
+	cfg := LoopConfig{RackPowerW: 25, RecoverySlots: 2}
+	ts1 := timeseries.New(0, 0)
+	ts2 := timeseries.New(0, 0)
+	a, err := Run(f, cfg, runs, sched, ts1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(f, cfg, runs, sched, ts2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("loop results differ across identical runs")
+	}
+	if !reflect.DeepEqual(ts1.Snapshot(), ts2.Snapshot()) {
+		t.Error("fleet series differ across identical runs")
+	}
+}
+
+// TestLoopEveryMachineTerminal is the in-package half of the oracle
+// contract: after any valid schedule every affected machine ends back in
+// PhaseServe with a completed cycle — no machine is left dark or
+// mid-recovery when the loop returns.
+func TestLoopEveryMachineTerminal(t *testing.T) {
+	f := testFleet(t, 16, 4)
+	runs := make([]MachineRun, 16)
+	for i := range runs {
+		runs[i] = MachineRun{DrainPs: int64(10 + i), DrainEnergyJ: 1e-9, RecoverPs: int64(5 + i), Outcome: "restored"}
+	}
+	sched := Schedule{
+		{AtPs: 0, DurationPs: 100, Racks: []int{0, 1}},
+		{AtPs: 500, DurationPs: 0, Racks: []int{2}},
+		{AtPs: 1000, DurationPs: 300},
+	}
+	res, err := Run(f, LoopConfig{RackPowerW: 120, RecoverySlots: 3}, runs, sched, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, tl := range res.Timelines {
+		last := tl.Intervals[len(tl.Intervals)-1]
+		if last.Phase != PhaseServe {
+			t.Errorf("machine %d ends in %v, want serve", tl.Machine, last.Phase)
+		}
+	}
+	for _, c := range res.Cycles {
+		if c.DrainEndPs < c.DrainStartPs || c.RecoverEndPs < c.RecoverStartPs || c.RecoverStartPs < c.DrainEndPs {
+			t.Errorf("incoherent cycle: %+v", c)
+		}
+	}
+	want := 0
+	for _, s := range res.Storms {
+		want += s.Machines
+	}
+	if len(res.Cycles) != want {
+		t.Errorf("%d cycles for %d affected machines", len(res.Cycles), want)
+	}
+}
+
+// TestLoopRejectsTyped pins the loop's error contract.
+func TestLoopRejectsTyped(t *testing.T) {
+	f := testFleet(t, 2, 1)
+	var ce *ConfigError
+	if _, err := Run(f, LoopConfig{}, flatRuns(3), nil, nil); !errors.As(err, &ce) {
+		t.Error("run-count mismatch must fail with *ConfigError")
+	}
+	bad := flatRuns(2)
+	bad[1].DrainPs = -1
+	if _, err := Run(f, LoopConfig{}, bad, nil, nil); !errors.As(err, &ce) {
+		t.Error("negative duration must fail with *ConfigError")
+	}
+	var se *ScheduleError
+	if _, err := Run(f, LoopConfig{}, flatRuns(2), Schedule{{AtPs: -1}}, nil); !errors.As(err, &se) {
+		t.Error("invalid schedule must fail with *ScheduleError")
+	}
+}

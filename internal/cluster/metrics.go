@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
+)
+
+// Quantile returns the q-quantile (0 <= q <= 1) of vals by the
+// nearest-rank method over a sorted copy — deterministic, no
+// interpolation, exact for the small populations fleets produce. Zero for
+// an empty slice.
+func Quantile(vals []int64, q float64) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	switch {
+	case q <= 0:
+		return s[0]
+	case q >= 1:
+		return s[len(s)-1]
+	}
+	// Nearest rank: ceil(q * N), 1-based.
+	rank := int(q * float64(len(s)))
+	if float64(rank) < q*float64(len(s)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// FleetMetrics aggregates a FleetResult into the fleet SLO currency.
+type FleetMetrics struct {
+	// Machines is the fleet size; Cycles the completed outage passages.
+	Machines, Cycles int
+	// Drain latency (power-cut to drain-complete: budget queueing plus
+	// the measured drain), picoseconds.
+	DrainP50Ps, DrainP99Ps, DrainMaxPs int64
+	// Recovery latency (power-back to service-restored), picoseconds.
+	RecoverP50Ps, RecoverP99Ps, RecoverMaxPs int64
+	// StormMaxPs is the longest recovery storm across outages;
+	// DrainMakespanMaxPs the longest power-cut-to-last-drain span (what
+	// the rack battery must sustain).
+	StormMaxPs, DrainMakespanMaxPs int64
+	// PeakDrains is the fleet-wide peak of concurrently admitted drains
+	// within a single outage.
+	PeakDrains int
+	// RackEnergyMaxJ is the largest per-rack cumulative drain energy.
+	RackEnergyMaxJ float64
+}
+
+// Summarize folds a fleet result into quantile metrics.
+func Summarize(f *Fleet, res *FleetResult) FleetMetrics {
+	m := FleetMetrics{Machines: len(f.Machines), Cycles: len(res.Cycles)}
+	drains := make([]int64, 0, len(res.Cycles))
+	recovers := make([]int64, 0, len(res.Cycles))
+	for _, c := range res.Cycles {
+		drains = append(drains, c.DrainLatencyPs())
+		recovers = append(recovers, c.RecoverLatencyPs())
+	}
+	m.DrainP50Ps = Quantile(drains, 0.5)
+	m.DrainP99Ps = Quantile(drains, 0.99)
+	m.DrainMaxPs = Quantile(drains, 1)
+	m.RecoverP50Ps = Quantile(recovers, 0.5)
+	m.RecoverP99Ps = Quantile(recovers, 0.99)
+	m.RecoverMaxPs = Quantile(recovers, 1)
+	for _, s := range res.Storms {
+		if s.StormPs > m.StormMaxPs {
+			m.StormMaxPs = s.StormPs
+		}
+		if s.DrainMakespanPs > m.DrainMakespanMaxPs {
+			m.DrainMakespanMaxPs = s.DrainMakespanPs
+		}
+		if s.PeakDrains > m.PeakDrains {
+			m.PeakDrains = s.PeakDrains
+		}
+	}
+	for _, e := range res.RackEnergyJ {
+		if e > m.RackEnergyMaxJ {
+			m.RackEnergyMaxJ = e
+		}
+	}
+	return m
+}
+
+// Publish exports the fleet metrics into the registry (for /metrics) and
+// stamps the quantile gauges onto the sampler at the loop's end instant
+// (for /timeseries.json and the fleet SLO rules). Both sinks are
+// nil-safe.
+func Publish(reg *obs.Registry, ts *timeseries.Sampler, f *Fleet, runs []MachineRun, res *FleetResult, m FleetMetrics) {
+	if reg != nil {
+		reg.SetHelp("horus_fleet_machines", "Machines simulated in the fleet run.")
+		reg.SetHelp("horus_fleet_drain_p99_ps", "Fleet p99 drain latency: power cut to drain complete, picoseconds.")
+		reg.SetHelp("horus_fleet_recover_p99_ps", "Fleet p99 recovery latency: power back to service restored, picoseconds.")
+		reg.SetHelp("horus_fleet_storm_max_ps", "Longest recovery storm across scheduled outages, picoseconds.")
+		reg.SetHelp("horus_fleet_outcomes_total", "Machine recovery-oracle verdicts across the fleet run.")
+		reg.SetHelp("horus_fleet_rack_energy_j", "Cumulative drain energy drawn per rack, joules.")
+		reg.Gauge("horus_fleet_machines").Set(float64(m.Machines))
+		reg.Gauge("horus_fleet_drain_p50_ps").Set(float64(m.DrainP50Ps))
+		reg.Gauge("horus_fleet_drain_p99_ps").Set(float64(m.DrainP99Ps))
+		reg.Gauge("horus_fleet_recover_p50_ps").Set(float64(m.RecoverP50Ps))
+		reg.Gauge("horus_fleet_recover_p99_ps").Set(float64(m.RecoverP99Ps))
+		reg.Gauge("horus_fleet_storm_max_ps").Set(float64(m.StormMaxPs))
+		reg.Gauge("horus_fleet_peak_drains").Set(float64(m.PeakDrains))
+		for id, r := range runs {
+			reg.Counter("horus_fleet_outcomes_total",
+				"scheme", f.Machines[id].Scheme.String(), "outcome", r.Outcome).Add(1)
+		}
+		for rack, e := range res.RackEnergyJ {
+			reg.Gauge("horus_fleet_rack_energy_j", "rack", strconv.Itoa(rack)).Set(e)
+		}
+	}
+	// Final-value gauges at the loop's end instant: the SLO rules read
+	// these with FinalAtMost.
+	end := res.EndPs
+	ts.Gauge("horus_fleet_ts_drain_p99_ps").Record(end, float64(m.DrainP99Ps))
+	ts.Gauge("horus_fleet_ts_recover_p99_ps").Record(end, float64(m.RecoverP99Ps))
+	ts.Gauge("horus_fleet_ts_storm_max_ps").Record(end, float64(m.StormMaxPs))
+}

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Outage is one power-failure event: at AtPs the listed racks lose power
+// simultaneously, and power returns DurationPs later. Every serving
+// machine of an affected rack must drain its persistence domain on the
+// rack's hold-up battery; when power returns the survivors recover in a
+// storm bounded by the fleet's recovery slots.
+type Outage struct {
+	// AtPs is the outage instant on the shared fleet clock (picoseconds).
+	AtPs int64
+	// DurationPs is how long power stays off. Zero models a blip: power
+	// is back immediately, but affected machines still complete their
+	// drains (a drain, once triggered, runs to completion) and then
+	// recover — the measured storm includes the drain tail.
+	DurationPs int64
+	// Racks lists the affected racks in ascending order; empty means
+	// every rack (a site-wide outage).
+	Racks []int
+}
+
+// covers reports whether the outage cuts power to rack r.
+func (o Outage) covers(r int) bool {
+	if len(o.Racks) == 0 {
+		return true
+	}
+	for _, x := range o.Racks {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Schedule is an ordered list of outages.
+type Schedule []Outage
+
+// ScheduleError is the typed error every invalid schedule reports —
+// parsing and validation never panic and never fail untyped.
+type ScheduleError struct {
+	Index  int // offending outage index, -1 for schedule-level faults
+	Detail string
+}
+
+func (e *ScheduleError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("cluster: invalid outage schedule: %s", e.Detail)
+	}
+	return fmt.Sprintf("cluster: invalid outage schedule: outage[%d]: %s", e.Index, e.Detail)
+}
+
+// Validate checks the schedule against a fleet of the given rack count:
+// non-negative instants and durations, sorted by time, rack indices in
+// range and ascending without duplicates, and no overlapping outage
+// windows on the same rack (a rack cannot lose power it does not have).
+func (s Schedule) Validate(racks int) error {
+	if racks < 1 {
+		return &ScheduleError{Index: -1, Detail: fmt.Sprintf("rack count must be >= 1, got %d", racks)}
+	}
+	if len(s) > 1024 {
+		return &ScheduleError{Index: -1, Detail: fmt.Sprintf("at most 1024 outages, got %d", len(s))}
+	}
+	for i, o := range s {
+		if o.AtPs < 0 {
+			return &ScheduleError{Index: i, Detail: fmt.Sprintf("outage instant must be >= 0, got %d", o.AtPs)}
+		}
+		if o.DurationPs < 0 {
+			return &ScheduleError{Index: i, Detail: fmt.Sprintf("duration must be >= 0, got %d", o.DurationPs)}
+		}
+		if o.DurationPs > math.MaxInt64-o.AtPs {
+			return &ScheduleError{Index: i, Detail: "restore instant overflows the picosecond clock"}
+		}
+		if i > 0 && o.AtPs < s[i-1].AtPs {
+			return &ScheduleError{Index: i, Detail: fmt.Sprintf("outages must be sorted by time (%d after %d)", o.AtPs, s[i-1].AtPs)}
+		}
+		for j, r := range o.Racks {
+			if r < 0 || r >= racks {
+				return &ScheduleError{Index: i, Detail: fmt.Sprintf("rack %d outside [0, %d)", r, racks)}
+			}
+			if j > 0 && r <= o.Racks[j-1] {
+				return &ScheduleError{Index: i, Detail: fmt.Sprintf("racks must be ascending without duplicates, got %v", o.Racks)}
+			}
+		}
+	}
+	// Overlap check per rack: an outage may not start while an earlier
+	// one still has the rack dark.
+	for r := 0; r < racks; r++ {
+		end := int64(-1)
+		for i, o := range s {
+			if !o.covers(r) {
+				continue
+			}
+			if o.AtPs <= end {
+				return &ScheduleError{Index: i, Detail: fmt.Sprintf("rack %d is already dark at %d (previous outage ends at %d)", r, o.AtPs, end)}
+			}
+			if e := o.AtPs + o.DurationPs; e > end {
+				end = e
+			}
+		}
+	}
+	return nil
+}
+
+// DarkAt reports whether rack r is inside any outage window at instant t.
+// The window is half-open [AtPs, AtPs+DurationPs): a zero-duration blip
+// never reads as dark.
+func (s Schedule) DarkAt(r int, t int64) bool {
+	for _, o := range s {
+		if o.covers(r) && t >= o.AtPs && t < o.AtPs+o.DurationPs {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSchedule parses the CLI's outage-schedule syntax: semicolon-
+// separated outages of the form "at:duration:racks", where at and
+// duration are Go durations ("2ms", "500us") and racks is "all" or a
+// comma-separated ascending rack list ("0,2"). Example:
+//
+//	"2ms:5ms:all; 12ms:1ms:0,2"
+//
+// The parsed schedule is validated against the given rack count; every
+// failure is a *ScheduleError.
+func ParseSchedule(spec string, racks int) (Schedule, error) {
+	var s Schedule
+	if strings.TrimSpace(spec) == "" {
+		return nil, &ScheduleError{Index: -1, Detail: "empty schedule"}
+	}
+	for i, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, &ScheduleError{Index: i, Detail: "empty outage entry"}
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, &ScheduleError{Index: i, Detail: fmt.Sprintf("want at:duration:racks, got %q", part)}
+		}
+		at, err := parsePs(fields[0])
+		if err != nil {
+			return nil, &ScheduleError{Index: i, Detail: fmt.Sprintf("outage instant %q: %v", fields[0], err)}
+		}
+		dur, err := parsePs(fields[1])
+		if err != nil {
+			return nil, &ScheduleError{Index: i, Detail: fmt.Sprintf("duration %q: %v", fields[1], err)}
+		}
+		o := Outage{AtPs: at, DurationPs: dur}
+		if rs := strings.TrimSpace(fields[2]); !strings.EqualFold(rs, "all") {
+			for _, f := range strings.Split(rs, ",") {
+				r, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return nil, &ScheduleError{Index: i, Detail: fmt.Sprintf("rack %q: %v", f, err)}
+				}
+				o.Racks = append(o.Racks, r)
+			}
+			sort.Ints(o.Racks)
+		}
+		s = append(s, o)
+	}
+	sort.SliceStable(s, func(i, j int) bool { return s[i].AtPs < s[j].AtPs })
+	if err := s.Validate(racks); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parsePs parses a Go duration into simulated picoseconds.
+func parsePs(s string) (int64, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("must be >= 0, got %v", d)
+	}
+	if int64(d) > math.MaxInt64/int64(sim.Nanosecond) {
+		return 0, fmt.Errorf("%v overflows the picosecond clock", d)
+	}
+	return int64(d) * int64(sim.Nanosecond), nil
+}

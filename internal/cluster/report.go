@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// SummaryTable renders the fleet run's headline numbers: one row per
+// aggregate with the drain/recovery quantiles and the storm spans.
+func SummaryTable(f *Fleet, cfg LoopConfig, m FleetMetrics, rs RouteStats) *report.Table {
+	t := &report.Table{
+		Title:  "Fleet run: drain contention and recovery storm",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("machines", fmt.Sprint(m.Machines))
+	t.AddRow("racks", fmt.Sprint(f.Racks))
+	t.AddRow("outage cycles", fmt.Sprint(m.Cycles))
+	t.AddRow("sessions routed", fmt.Sprint(rs.Total()))
+	t.AddRow("sessions failed over", fmt.Sprint(rs.FailedOver))
+	t.AddRow("sessions rejected", fmt.Sprint(rs.Rejected))
+	t.AddRow("drain latency p50", sim.Time(m.DrainP50Ps).String())
+	t.AddRow("drain latency p99", sim.Time(m.DrainP99Ps).String())
+	t.AddRow("drain makespan max", sim.Time(m.DrainMakespanMaxPs).String())
+	t.AddRow("recovery latency p50", sim.Time(m.RecoverP50Ps).String())
+	t.AddRow("recovery latency p99", sim.Time(m.RecoverP99Ps).String())
+	t.AddRow("recovery storm max", sim.Time(m.StormMaxPs).String())
+	t.AddRow("peak concurrent drains", fmt.Sprint(m.PeakDrains))
+	t.AddRow("rack energy max", report.Joules(m.RackEnergyMaxJ))
+	if cfg.RackPowerW > 0 {
+		t.AddRow("rack power budget", fmt.Sprintf("%.0f W", cfg.RackPowerW))
+	}
+	if cfg.RecoverySlots > 0 {
+		t.AddRow("recovery slots", fmt.Sprint(cfg.RecoverySlots))
+	}
+	if m.Machines == 0 {
+		t.AddNote("empty fleet: nothing was simulated")
+	}
+	if m.Cycles == 0 && m.Machines > 0 {
+		t.AddNote("no outage caught a serving machine; quantiles are zero")
+	}
+	t.AddNote("drain latency = power cut to drain complete (rack power-budget queueing included)")
+	t.AddNote("recovery latency = power back to service restored (recovery-slot queueing included)")
+	return t
+}
+
+// MachineTable lists every machine's spec, measured episode and oracle
+// verdict — the per-machine artifact CI uploads.
+func MachineTable(f *Fleet, runs []MachineRun, res *FleetResult) *report.Table {
+	t := &report.Table{
+		Title: "Fleet machines: measured episodes and oracle verdicts",
+		Header: []string{"machine", "rack", "scheme", "llc", "banks", "workload",
+			"drain", "power", "recover", "outcome"},
+	}
+	for id, spec := range f.Machines {
+		r := runs[id]
+		t.AddRow(spec.Name, fmt.Sprint(spec.Rack), spec.Scheme.String(),
+			fmt.Sprintf("%dK", spec.LLCBytes>>10), fmt.Sprint(spec.Banks), spec.Workload,
+			sim.Time(r.DrainPs).String(), fmt.Sprintf("%.1f W", r.PowerW()),
+			sim.Time(r.RecoverPs).String(), r.Outcome)
+	}
+	if len(f.Machines) == 0 {
+		t.AddNote("empty fleet")
+	}
+	for _, rack := range res.BatteryExceeded {
+		t.AddNote("FAIL rack %d drains overdrew the rack battery budget (%s > %s)",
+			rack, report.Joules(res.RackEnergyJ[rack]), report.Joules(res.Config.RackBatteryJ))
+	}
+	return t
+}
+
+// StormTable lists each scheduled outage end to end.
+func StormTable(res *FleetResult) *report.Table {
+	t := &report.Table{
+		Title:  "Recovery storms: one row per scheduled outage",
+		Header: []string{"outage", "at", "dark", "machines", "skipped", "peak drains", "drain makespan", "storm"},
+	}
+	for i, s := range res.Storms {
+		t.AddRow(fmt.Sprint(i), sim.Time(s.Outage.AtPs).String(), sim.Time(s.Outage.DurationPs).String(),
+			fmt.Sprint(s.Machines), fmt.Sprint(s.Skipped), fmt.Sprint(s.PeakDrains),
+			sim.Time(s.DrainMakespanPs).String(), sim.Time(s.StormPs).String())
+	}
+	if len(res.Storms) == 0 {
+		t.AddNote("no outages scheduled")
+	}
+	t.AddNote("storm = power back to last machine re-serving; dark 0s = power blip (drains still run to completion)")
+	return t
+}
+
+// ganttWidth is the storm Gantt's character width (matches the drain
+// timeline Gantt in internal/report).
+const ganttWidth = 96
+
+// ganttChar maps a phase to its Gantt marker; serve renders blank so the
+// outage structure stands out.
+func ganttChar(p Phase) byte {
+	switch p {
+	case PhaseDrainWait:
+		return '!'
+	case PhaseDrain:
+		return 'D'
+	case PhaseDown:
+		return '.'
+	case PhaseRecoverWait:
+		return 'r'
+	case PhaseRecover:
+		return 'R'
+	default:
+		return ' '
+	}
+}
+
+// StormGantt renders the fleet's phase timelines as an ASCII Gantt: one
+// track per machine, one character per time bucket showing the dominant
+// non-serving phase of the bucket. Handles the edge cases explicitly:
+// an empty fleet and a zero-length run render as notes, a single machine
+// renders as a single track.
+func StormGantt(f *Fleet, res *FleetResult) *report.Table {
+	t := &report.Table{Title: "Recovery-storm timeline"}
+	if len(f.Machines) == 0 {
+		t.AddNote("empty fleet")
+		return t
+	}
+	total := res.EndPs
+	if total <= 0 {
+		t.AddNote("zero-length run: no outage produced any activity")
+		return t
+	}
+	t.Header = []string{"machine", fmt.Sprintf("0 .. %s (%d cols)", sim.Time(total), ganttWidth)}
+	bucketOf := func(ts int64) int {
+		b := int(ts * ganttWidth / total)
+		if b < 0 {
+			b = 0
+		}
+		if b >= ganttWidth {
+			b = ganttWidth - 1
+		}
+		return b
+	}
+	for _, tl := range res.Timelines {
+		// Per-bucket occupancy of each non-serve phase; the densest wins.
+		var occ [6][ganttWidth]int64
+		for _, iv := range tl.Intervals {
+			if iv.Phase == PhaseServe || iv.EndPs <= iv.StartPs {
+				continue
+			}
+			for b := bucketOf(iv.StartPs); b <= bucketOf(iv.EndPs-1); b++ {
+				bLo := int64(b) * total / ganttWidth
+				bHi := int64(b+1) * total / ganttWidth
+				lo, hi := iv.StartPs, iv.EndPs
+				if lo < bLo {
+					lo = bLo
+				}
+				if hi > bHi {
+					hi = bHi
+				}
+				if hi > lo {
+					occ[iv.Phase][b] += hi - lo
+				}
+			}
+		}
+		bar := make([]byte, ganttWidth)
+		for b := 0; b < ganttWidth; b++ {
+			best, bestOcc := PhaseServe, int64(0)
+			for p := PhaseDrainWait; p <= PhaseRecover; p++ {
+				if occ[p][b] > bestOcc {
+					best, bestOcc = p, occ[p][b]
+				}
+			}
+			bar[b] = ganttChar(best)
+		}
+		t.AddRow(f.Machines[tl.Machine].Name, string(bar))
+	}
+	t.AddNote("phases: ! = queued for rack power budget, D = draining, . = dark, r = queued for recovery slot, R = recovering, blank = serving")
+	return t
+}

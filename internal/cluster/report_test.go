@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// emptyFleetFixtures returns the degenerate inputs the report layer must
+// survive: a valid-but-empty result for a zero-machine fleet.
+func emptyResult() (*Fleet, *FleetResult) {
+	return &Fleet{Racks: 1}, &FleetResult{RackEnergyJ: []float64{0}}
+}
+
+func TestSummaryTableEmptyFleet(t *testing.T) {
+	f, res := emptyResult()
+	m := Summarize(f, res)
+	out := SummaryTable(f, LoopConfig{}, m, RouteStats{}).String()
+	if !strings.Contains(out, "empty fleet") {
+		t.Errorf("empty-fleet note missing:\n%s", out)
+	}
+}
+
+func TestSummaryTableZeroCycles(t *testing.T) {
+	f := &Fleet{Racks: 1, Machines: []MachineSpec{{Name: "m00", Workload: "uniform"}}}
+	res := &FleetResult{RackEnergyJ: []float64{0}}
+	out := SummaryTable(f, LoopConfig{RackPowerW: 100, RecoverySlots: 2}, Summarize(f, res), RouteStats{}).String()
+	if !strings.Contains(out, "no outage caught a serving machine") {
+		t.Errorf("zero-cycle note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100 W") || !strings.Contains(out, "recovery slots") {
+		t.Errorf("budget rows missing:\n%s", out)
+	}
+}
+
+func TestMachineTableSingleMachineAndBatteryFail(t *testing.T) {
+	f := testFleet(t, 1, 1)
+	runs := flatRuns(1)
+	res, err := Run(f, LoopConfig{RackBatteryJ: 1e-9}, runs, Schedule{{AtPs: 0, DurationPs: 100}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := MachineTable(f, runs, res).String()
+	if !strings.Contains(out, "m00") || !strings.Contains(out, "restored") {
+		t.Errorf("machine row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL rack 0") {
+		t.Errorf("battery-overdraw note missing:\n%s", out)
+	}
+
+	empty, eres := emptyResult()
+	eout := MachineTable(empty, nil, eres).String()
+	if !strings.Contains(eout, "empty fleet") {
+		t.Errorf("empty-fleet note missing:\n%s", eout)
+	}
+}
+
+func TestStormTableEdges(t *testing.T) {
+	_, res := emptyResult()
+	if out := StormTable(res).String(); !strings.Contains(out, "no outages scheduled") {
+		t.Errorf("no-outage note missing:\n%s", out)
+	}
+
+	// A zero-duration storm (blip drained nobody: outage on an empty rack)
+	// renders a 0s row rather than dividing by zero anywhere.
+	f := &Fleet{Racks: 2, Machines: []MachineSpec{{
+		Name: "m00", Scheme: core.HorusSLM, LLCBytes: 256 << 10, Banks: 16, Workload: "uniform",
+	}}}
+	r, err := Run(f, LoopConfig{}, flatRuns(1), Schedule{{AtPs: 0, DurationPs: 0, Racks: []int{1}}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := StormTable(r).String()
+	if !strings.Contains(out, "0s") {
+		t.Errorf("zero-duration storm row missing:\n%s", out)
+	}
+}
+
+func TestStormGanttEdges(t *testing.T) {
+	empty, eres := emptyResult()
+	if out := StormGantt(empty, eres).String(); !strings.Contains(out, "empty fleet") {
+		t.Errorf("empty-fleet note missing:\n%s", out)
+	}
+
+	// Zero-length run: one machine, no outages at all.
+	f := testFleet(t, 1, 1)
+	res, err := Run(f, LoopConfig{}, flatRuns(1), nil, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out := StormGantt(f, res).String(); !strings.Contains(out, "zero-length run") {
+		t.Errorf("zero-length note missing:\n%s", out)
+	}
+
+	// Single machine through one outage: the track must show drain,
+	// dark-wait and recovery markers.
+	res, err = Run(f, LoopConfig{}, flatRuns(1), Schedule{{AtPs: 0, DurationPs: 1000}}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := StormGantt(f, res).String()
+	for _, marker := range []string{"D", ".", "R"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("Gantt missing %q marker:\n%s", marker, out)
+		}
+	}
+}

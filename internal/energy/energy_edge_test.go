@@ -1,0 +1,92 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTechByNameAliasesAndFolding pins the full alias surface: every
+// accepted spelling of both technologies, case-folded both ways, and the
+// rejections (wrong length, non-letter mismatch, empty).
+func TestTechByNameAliasesAndFolding(t *testing.T) {
+	accept := map[string]string{
+		"supercap": SuperCap.Name, "SUPERCAP": SuperCap.Name, "SuPeRcAp": SuperCap.Name,
+		"li-thin": LiThin.Name, "LI-THIN": LiThin.Name,
+		"lithin": LiThin.Name, "LiThin": LiThin.Name,
+		"li": LiThin.Name, "LI": LiThin.Name,
+	}
+	for name, want := range accept {
+		if tech, ok := TechByName(name); !ok || tech.Name != want {
+			t.Errorf("TechByName(%q) = (%v, %v), want %s", name, tech.Name, ok, want)
+		}
+	}
+	for _, name := range []string{"", "super", "supercapacitor", "li_thin", "l1-thin", "plutonium"} {
+		if _, ok := TechByName(name); ok {
+			t.Errorf("TechByName(%q) accepted", name)
+		}
+	}
+}
+
+// TestEqualFold exercises the fold branches directly: the public entry
+// points only ever pass lowercase reference strings, so the second
+// argument's uppercase branch is reachable only here.
+func TestEqualFold(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"", "", true},
+		{"abc", "ABC", true},
+		{"ABC", "abc", true},
+		{"a-b", "A-B", true},
+		{"abc", "abd", false},
+		{"abc", "ab", false},
+		{"a-b", "a_b", false},
+	}
+	for _, tc := range cases {
+		if got := equalFold(tc.a, tc.b); got != tc.want {
+			t.Errorf("equalFold(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestVolumeBudgetRoundTrip checks Volume and BudgetJoules are exact
+// inverses for both technologies across magnitudes.
+func TestVolumeBudgetRoundTrip(t *testing.T) {
+	for _, tech := range []Tech{SuperCap, LiThin} {
+		for _, joules := range []float64{1e-9, 1e-3, 1, 250, 1e6} {
+			got := BudgetJoules(Volume(joules, tech), tech)
+			if math.Abs(got-joules) > joules*1e-12 {
+				t.Errorf("%s: BudgetJoules(Volume(%g)) = %g", tech.Name, joules, got)
+			}
+		}
+	}
+}
+
+// TestDrainDeadlineEdges pins the degenerate inputs: non-positive budget
+// or power affords no drain time at all.
+func TestDrainDeadlineEdges(t *testing.T) {
+	p := DefaultParams()
+	if d := DrainDeadline(p, 0); d != 0 {
+		t.Errorf("zero budget: deadline %v, want 0", d)
+	}
+	if d := DrainDeadline(p, -1); d != 0 {
+		t.Errorf("negative budget: deadline %v, want 0", d)
+	}
+	if d := DrainDeadline(Params{}, 1); d != 0 {
+		t.Errorf("zero power: deadline %v, want 0", d)
+	}
+	// 1 J at 100 W affords exactly 10 ms.
+	if d, want := DrainDeadline(p, 1), sim.Time(10*sim.Millisecond); d != want {
+		t.Errorf("1 J at 100 W: deadline %v, want %v", d, want)
+	}
+}
+
+// TestEstimateZero pins the empty episode: no time, no accesses, no energy.
+func TestEstimateZero(t *testing.T) {
+	if got := Estimate(DefaultParams(), 0, 0, 0).Total(); got != 0 {
+		t.Errorf("empty episode estimated %g J, want 0", got)
+	}
+}

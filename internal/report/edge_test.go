@@ -1,0 +1,154 @@
+package report
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/evlog"
+	"repro/internal/timeline"
+)
+
+// TestSpanTreeEmpty pins the no-spans rendering.
+func TestSpanTreeEmpty(t *testing.T) {
+	out := SpanTree(obs.NewRegistry()).String()
+	if !strings.Contains(out, "no spans recorded") {
+		t.Errorf("empty registry rendered without the note:\n%s", out)
+	}
+}
+
+// TestSpanTreeNesting checks children indent under their parent and both
+// the human-readable and raw-picosecond durations appear.
+func TestSpanTreeNesting(t *testing.T) {
+	reg := obs.NewRegistry()
+	root := reg.StartSpan("episode", 0)
+	reg.RecordSpan("drain", 0, 1500)
+	root.EndAt(2000)
+	reg.RecordSpan("recover", 0, 500)
+
+	out := SpanTree(reg).String()
+	for _, want := range []string{"episode", "  drain", "recover", "2000", "1500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("span tree missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "  recover") {
+		t.Errorf("recover is a root span but rendered indented:\n%s", out)
+	}
+}
+
+// TestSparklineNaN pins the NaN rendering: NaNs become spaces and do not
+// perturb the scale of the real samples.
+func TestSparklineNaN(t *testing.T) {
+	nan := math.NaN()
+	got := Sparkline([]float64{0, nan, 1})
+	if []rune(got)[1] != ' ' {
+		t.Errorf("NaN rendered %q, want a space in %q", string([]rune(got)[1]), got)
+	}
+	if r := []rune(got); r[0] == r[2] {
+		t.Errorf("scale collapsed around the NaN: %q", got)
+	}
+	if got := Sparkline([]float64{nan, nan}); strings.TrimSpace(got) != "" {
+		t.Errorf("all-NaN series rendered %q, want only spaces", got)
+	}
+}
+
+// TestSparklineChartDefaultFormat checks the nil-format fallback and that
+// wide inputs are resampled to the requested width.
+func TestSparklineChartDefaultFormat(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	got := SparklineChart("ramp", vals, 10, nil)
+	if !strings.Contains(got, "min=0") || !strings.Contains(got, "max=99") || !strings.Contains(got, "final=99") {
+		t.Errorf("default format annotations wrong: %q", got)
+	}
+	if n := len([]rune(strings.Fields(got)[1])); n != 10 {
+		t.Errorf("chart bar is %d runes, want 10: %q", n, got)
+	}
+}
+
+// failWriter fails every write; WriteCSV must surface the error rather
+// than swallow it in the csv buffer.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteCSVEdges(t *testing.T) {
+	headerless := &Table{Rows: [][]string{{"a", "1"}, {"b", "2"}}}
+	var b strings.Builder
+	if err := headerless.WriteCSV(&b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if got := b.String(); got != "a,1\nb,2\n" {
+		t.Errorf("headerless CSV = %q", got)
+	}
+	if err := headerless.WriteCSV(failWriter{}); err == nil {
+		t.Error("WriteCSV swallowed the writer's error")
+	}
+}
+
+// TestForensicTableLabelFallback pins the cell-label fallback chain:
+// label, then scheme, then "-".
+func TestForensicTableLabelFallback(t *testing.T) {
+	out := ForensicTable(
+		evlog.Forensic{Label: "cell-7", Scheme: "Horus-SLM"},
+		evlog.Forensic{Scheme: "Horus-DLM"},
+		evlog.Forensic{},
+	).String()
+	for _, want := range []string{"cell-7", "Horus-DLM", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("forensic table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Horus-SLM") {
+		t.Errorf("label set but scheme used as the cell:\n%s", out)
+	}
+}
+
+// TestSharePct pins the zero-whole guard.
+func TestSharePct(t *testing.T) {
+	if got := sharePct(1, 0); got != "-" {
+		t.Errorf("sharePct(1, 0) = %q, want -", got)
+	}
+	if got := sharePct(1, 2); got != "50.0%" {
+		t.Errorf("sharePct(1, 2) = %q", got)
+	}
+}
+
+// TestCritChar pins the critical-path marker alphabet, including the
+// wait-phase uppercase shift and the unknown-resource fallback.
+func TestCritChar(t *testing.T) {
+	cases := []struct {
+		resource, phase string
+		want            byte
+	}{
+		{"bank", "service", 'b'},
+		{"bus", "service", 'u'},
+		{"aes", "service", 'a'},
+		{"mac", "service", 'm'},
+		{"bank", "wait", 'B'},
+		{"mac", "wait", 'M'},
+		{"idle", "idle", ' '},
+		{"warp-core", "service", '?'},
+	}
+	for _, tc := range cases {
+		s := timeline.PathStep{Resource: tc.resource, Phase: tc.phase}
+		if got := critChar(s); got != tc.want {
+			t.Errorf("critChar(%s/%s) = %q, want %q", tc.resource, tc.phase, got, tc.want)
+		}
+	}
+}
+
+// TestMinMaxTime pins the tiny ordering helpers.
+func TestMinMaxTime(t *testing.T) {
+	if minTime(1, 2) != 1 || minTime(2, 1) != 1 {
+		t.Error("minTime wrong")
+	}
+	if maxTime(1, 2) != 2 || maxTime(2, 1) != 2 {
+		t.Error("maxTime wrong")
+	}
+}

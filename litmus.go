@@ -379,12 +379,15 @@ func (ep *litmusEpisode) materialize(cfg Config, ei int, applied []int) *core.Sy
 }
 
 // classifyOrdering materialises one ordering and runs the recovery oracle.
+// The oracle's recovery-time attribution is irrelevant to ordering verdicts
+// and dropped here.
 func (ep *litmusEpisode) classifyOrdering(cfg Config, ei int, o litmus.Ordering) (CrashOutcome, string, *Forensic) {
 	sys := ep.materialize(cfg, ei, o.Applied)
 	ps := ep.snaps[ei]
 	complete := o.Complete(ep.epochs[ei].Size())
 	interrupted := !(ei == len(ep.epochs)-1 && complete)
-	return classifyOutcome(sys, ps, ep.golden, ep.blocks, interrupted)
+	out, detail, forensic, _ := classifyOutcome(sys, ps, ep.golden, ep.blocks, interrupted)
+	return out, detail, forensic
 }
 
 // lastEpochComplete returns the applied set that makes the final epoch —

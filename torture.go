@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/report"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
@@ -84,6 +85,9 @@ type TortureCell struct {
 	// Forensic explains a detection — failing check, region, blocks scanned
 	// before it fired, provenance chain — and is nil for clean cells.
 	Forensic *Forensic
+	// RecoverTime is the simulated time the recovery path consumed while
+	// classifying this cell (vault restore plus CHV/baseline recovery).
+	RecoverTime sim.Time
 }
 
 // Label names the cell in reports and errors.
@@ -397,6 +401,6 @@ func runTortureCell(cfg Config, scheme Scheme, w *Workload, plan faultinject.Cra
 		}
 	}
 
-	cell.Outcome, cell.Detail, cell.Forensic = classifyOutcome(ws.Core, ps, golden, blocks, atCut != nil)
+	cell.Outcome, cell.Detail, cell.Forensic, cell.RecoverTime = classifyOutcome(ws.Core, ps, golden, blocks, atCut != nil)
 	return cell
 }
